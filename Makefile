@@ -1,0 +1,41 @@
+# Development targets for d2dhb. Everything is stdlib-only Go; no external
+# tools beyond the Go toolchain are required.
+
+GO ?= go
+
+.PHONY: all build vet test race bench repro examples fmt clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One benchmark iteration per experiment: the reproduction harness.
+bench:
+	$(GO) test -run XXX -bench=. -benchmem .
+
+# Print every paper table/figure with paper-vs-measured comparisons.
+repro:
+	$(GO) run ./cmd/d2dbench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/crowd
+	$(GO) run ./examples/mobility
+	$(GO) run ./examples/multiapp
+	$(GO) run ./examples/liveproto
+
+fmt:
+	gofmt -w .
+
+clean:
+	$(GO) clean ./...

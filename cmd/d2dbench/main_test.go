@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"d2dhb/internal/experiments"
+)
+
+func TestRunSingleExperiments(t *testing.T) {
+	// Exercise every -only branch that runs quickly; the heavyweight
+	// sweeps are covered by the experiments package tests.
+	for _, only := range []string{"table1", "fig6", "fig7", "table3", "fig13", "battery"} {
+		only := only
+		t.Run(only, func(t *testing.T) {
+			if err := run(experiments.DefaultSeed, false, only, ""); err != nil {
+				t.Fatalf("run(%s): %v", only, err)
+			}
+		})
+	}
+}
+
+func TestRunCSVMode(t *testing.T) {
+	if err := run(experiments.DefaultSeed, true, "fig6", ""); err != nil {
+		t.Fatalf("run csv: %v", err)
+	}
+}
+
+func TestRunWritesCSVFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(experiments.DefaultSeed, false, "fig12", dir); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig12.csv"))
+	if err != nil {
+		t.Fatalf("read csv: %v", err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty csv written")
+	}
+}

@@ -1,0 +1,69 @@
+// Command d2drelay runs a relay agent of the real heartbeat relaying
+// stack: it listens for UE connections (the "D2D side"), schedules
+// collected heartbeats with Algorithm 1, and forwards aggregated batches
+// to the presence server.
+//
+// Usage:
+//
+//	d2drelay [-id relay-1] [-listen 127.0.0.1:7401] [-server 127.0.0.1:7400]
+//	         [-period 270s] [-expiry 270s] [-capacity 8] [-report 5s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"d2dhb/internal/relaynet"
+)
+
+func main() {
+	var (
+		id       = flag.String("id", "relay-1", "relay device id")
+		listen   = flag.String("listen", "127.0.0.1:7401", "UE-side listen address")
+		server   = flag.String("server", "127.0.0.1:7400", "presence server address")
+		period   = flag.Duration("period", 270*time.Second, "own heartbeat period (scheduling window T)")
+		expiry   = flag.Duration("expiry", 270*time.Second, "own heartbeat expiry")
+		capacity = flag.Int("capacity", 8, "collection capacity M")
+		report   = flag.Duration("report", 5*time.Second, "stats report interval")
+	)
+	flag.Parse()
+	if err := run(*id, *listen, *server, *period, *expiry, *capacity, *report); err != nil {
+		fmt.Fprintln(os.Stderr, "d2drelay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(id, listen, server string, period, expiry time.Duration, capacity int, report time.Duration) error {
+	relay, err := relaynet.NewRelayAgent(relaynet.RelayAgentConfig{
+		ID: id, App: "relay", Period: period, Expiry: expiry, Pad: 54, Capacity: capacity,
+	})
+	if err != nil {
+		return err
+	}
+	if err := relay.Start(listen, server); err != nil {
+		return err
+	}
+	defer relay.Shutdown()
+	fmt.Printf("relay %s listening on %s, upstream %s\n", id, relay.Addr(), server)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(report)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			fmt.Println("shutting down")
+			return nil
+		case <-ticker.C:
+			st := relay.Stats()
+			fmt.Printf("collected=%d flushes=%d forwarded=%d credits=%d feedbacks=%d rejected=%d\n",
+				st.Collected, st.Flushes, st.Forwarded, st.Credits,
+				st.FeedbacksSent, st.RejectedClosed+st.RejectedExpire)
+		}
+	}
+}

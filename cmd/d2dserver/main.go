@@ -1,0 +1,57 @@
+// Command d2dserver runs the IM presence server of the real heartbeat
+// relaying stack. It accepts direct heartbeats and relay batches over TCP
+// and reports presence statistics every few seconds.
+//
+// Usage:
+//
+//	d2dserver [-addr 127.0.0.1:7400] [-report 5s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"d2dhb/internal/relaynet"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:7400", "listen address")
+		report = flag.Duration("report", 5*time.Second, "stats report interval")
+	)
+	flag.Parse()
+	if err := run(*addr, *report); err != nil {
+		fmt.Fprintln(os.Stderr, "d2dserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, report time.Duration) error {
+	srv := relaynet.NewServer()
+	if err := srv.Start(addr); err != nil {
+		return err
+	}
+	defer srv.Shutdown()
+	fmt.Printf("presence server listening on %s\n", srv.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(report)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			fmt.Println("shutting down")
+			return nil
+		case <-ticker.C:
+			st := srv.Stats()
+			fmt.Printf("online=%d direct=%d relayed=%d batches=%d late=%d conns=%d\n",
+				srv.OnlineCount(time.Now()), st.HeartbeatsDirect, st.HeartbeatsRelayed,
+				st.Batches, st.Late, st.Connections)
+		}
+	}
+}

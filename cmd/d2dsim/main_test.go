@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunPairScenario(t *testing.T) {
+	if err := run("pair", 1, 2, 2, 1, 0, 8, "nagle", "wechat", 1, true, nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunCrowdScenario(t *testing.T) {
+	if err := run("crowd", 2, 10, 2, 0, 60, 8, "nagle", "standard", 1, false, nil); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run("teleport", 1, 1, 2, 1, 0, 8, "nagle", "standard", 1, false, nil); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if err := run("pair", 1, 1, 2, 1, 0, 8, "yolo", "standard", 1, false, nil); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if err := run("pair", 1, 1, 2, 1, 0, 8, "nagle", "icq", 1, false, nil); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestRunConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scn.json")
+	scn := `{
+	  "seed": 1,
+	  "duration": "10m",
+	  "relays": [{"id": "r", "app": "standard", "capacity": 4, "mobility": {"x": 0}}],
+	  "ues": [{"id": "u", "app": "standard", "startOffset": "20s", "mobility": {"x": 1}}]
+	}`
+	if err := os.WriteFile(path, []byte(scn), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := runConfig(path, nil); err != nil {
+		t.Fatalf("runConfig: %v", err)
+	}
+	if err := runConfig(filepath.Join(dir, "missing.json"), nil); err == nil {
+		t.Fatal("missing config accepted")
+	}
+}
+
+func TestOpenTrace(t *testing.T) {
+	tr, closeFn, err := openTrace("")
+	if err != nil || tr != nil {
+		t.Fatalf("empty path: %v/%v", tr, err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	tr, closeFn, err = openTrace(path)
+	if err != nil || tr == nil {
+		t.Fatalf("openTrace: %v", err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}

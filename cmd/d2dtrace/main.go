@@ -1,0 +1,69 @@
+// Command d2dtrace analyzes a JSONL event trace produced by
+// `d2dsim -trace`: event counts, generation→delivery delay distributions
+// per path (relayed vs direct), and late deliveries.
+//
+// Usage:
+//
+//	d2dsim -periods 8 -trace run.jsonl
+//	d2dtrace run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"d2dhb/internal/metrics"
+	"d2dhb/internal/trace"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: d2dtrace <trace.jsonl>")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "d2dtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := trace.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	a := trace.Analyze(events)
+
+	counts := metrics.NewTable("Event counts", "kind", "count")
+	kinds := make([]string, 0, len(a.KindCounts))
+	for k := range a.KindCounts {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		counts.AddRow(k, fmt.Sprintf("%d", a.KindCounts[trace.Kind(k)]))
+	}
+	fmt.Println(counts)
+
+	delays := metrics.NewTable("Generation→delivery delay",
+		"path", "n", "mean (ms)", "p50 (ms)", "p95 (ms)", "max (ms)")
+	addRow := func(name string, d trace.DelayStats) {
+		delays.AddRow(name, fmt.Sprintf("%d", d.Count), metrics.F(d.MeanMs),
+			metrics.F(d.P50Ms), metrics.F(d.P95Ms), metrics.F(d.MaxMs))
+	}
+	addRow("all", a.Total)
+	addRow("relayed", a.Relayed)
+	addRow("direct", a.Direct)
+	fmt.Println(delays)
+
+	fmt.Printf("late deliveries: %d\n", a.LateDeliveries)
+	return nil
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunAnalyzesTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	content := `{"atMs":0,"device":"u","kind":"hb-generated","seq":1}
+{"atMs":500,"device":"u","kind":"d2d-send","seq":1}
+{"atMs":9000,"device":"u","kind":"delivery","seq":1,"peer":"relay","onTime":true}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := run(path); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsMissingAndGarbage(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "missing.jsonl")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(path, []byte("junk\n"), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := run(path); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,35 @@
+package d2dhb
+
+import (
+	"time"
+
+	"d2dhb/internal/geo"
+)
+
+// Geometry and mobility types, re-exported so scenarios can be built
+// without reaching into internal packages.
+type (
+	// Point is a position on the simulation plane, in meters.
+	Point = geo.Point
+	// Mobility yields a device's position as a function of virtual time.
+	Mobility = geo.Mobility
+	// Static is a Mobility that never moves.
+	Static = geo.Static
+	// Line moves from one point toward another at constant speed.
+	Line = geo.Line
+	// Orbit circles a center at fixed radius — handy for exact distance
+	// control.
+	Orbit = geo.Orbit
+	// Area is an axis-aligned rectangle describing the simulation area.
+	Area = geo.Rect
+)
+
+// SquareArea returns a side×side area anchored at the origin.
+func SquareArea(sideM float64) Area { return geo.Square(sideM) }
+
+// NewRandomWaypoint builds the classic random-waypoint mobility model:
+// walk to a uniform destination at a uniform speed in [minSpeed, maxSpeed]
+// m/s, pause, repeat.
+func NewRandomWaypoint(area Area, start Point, minSpeed, maxSpeed float64, pause time.Duration, seed int64) (Mobility, error) {
+	return geo.NewRandomWaypoint(area, start, minSpeed, maxSpeed, pause, seed)
+}

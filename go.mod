@@ -1,0 +1,3 @@
+module d2dhb
+
+go 1.22

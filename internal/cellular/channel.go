@@ -1,0 +1,117 @@
+package cellular
+
+import (
+	"fmt"
+	"time"
+)
+
+// ChannelConfig parameterizes the control-channel load model. The paper's
+// operator-side motivation is that heartbeat signaling overloads the
+// control channel ("serious overload in control channel … also known as
+// the problem of signaling storm", Section I) and degrades service
+// ("higher rate of paging failure", Section II-B).
+type ChannelConfig struct {
+	// Window is the load-measurement granularity.
+	Window time.Duration
+	// CapacityPerWindow is how many layer-3 messages the control channel
+	// can absorb per window before overloading.
+	CapacityPerWindow int
+}
+
+// DefaultChannelConfig returns a deliberately small-cell configuration
+// (one-minute windows, 120 messages per window) so density sweeps cross the
+// overload point at simulable population sizes.
+func DefaultChannelConfig() ChannelConfig {
+	return ChannelConfig{
+		Window:            time.Minute,
+		CapacityPerWindow: 120,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c ChannelConfig) Validate() error {
+	if c.Window <= 0 {
+		return fmt.Errorf("cellular: channel window must be positive, got %v", c.Window)
+	}
+	if c.CapacityPerWindow <= 0 {
+		return fmt.Errorf("cellular: channel capacity must be positive, got %d", c.CapacityPerWindow)
+	}
+	return nil
+}
+
+// ChannelReport summarizes control-channel load over a run.
+type ChannelReport struct {
+	// Windows is the number of measurement windows observed.
+	Windows int
+	// TotalMessages is the total layer-3 messages recorded.
+	TotalMessages int
+	// PeakWindowLoad is the busiest window's message count.
+	PeakWindowLoad int
+	// OverloadedWindows counts windows whose load exceeded capacity.
+	OverloadedWindows int
+	// DroppedMessages is the signaling volume beyond capacity, summed over
+	// overloaded windows — the traffic that would have manifested as
+	// paging failures and degraded service.
+	DroppedMessages int
+}
+
+// PeakUtilization returns the busiest window's load as a fraction of
+// capacity (may exceed 1 under overload).
+func (r ChannelReport) PeakUtilization(cfg ChannelConfig) float64 {
+	if cfg.CapacityPerWindow <= 0 {
+		return 0
+	}
+	return float64(r.PeakWindowLoad) / float64(cfg.CapacityPerWindow)
+}
+
+// controlChannel accumulates per-window signaling load.
+type controlChannel struct {
+	cfg     ChannelConfig
+	windows map[int]int
+}
+
+// EnableControlChannel turns on control-channel load tracking. It must be
+// called before modems attach; already-attached modems are wired up too.
+func (bs *BaseStation) EnableControlChannel(cfg ChannelConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	bs.channel = &controlChannel{cfg: cfg, windows: make(map[int]int)}
+	for _, m := range bs.modems {
+		bs.wireChannel(m)
+	}
+	return nil
+}
+
+// wireChannel hooks one modem's RRC signaling into the channel tracker.
+func (bs *BaseStation) wireChannel(m *Modem) {
+	if bs.channel == nil {
+		return
+	}
+	m.machine.OnSignaling(func(msgs int) {
+		idx := int(bs.sched.Now() / bs.channel.cfg.Window)
+		bs.channel.windows[idx] += msgs
+	})
+}
+
+// ChannelReport summarizes the recorded control-channel load. It returns a
+// zero report when tracking was not enabled.
+func (bs *BaseStation) ChannelReport() ChannelReport {
+	var rep ChannelReport
+	ch := bs.channel
+	if ch == nil {
+		return rep
+	}
+	for _, load := range ch.windows {
+		rep.Windows++
+		rep.TotalMessages += load
+		if load > rep.PeakWindowLoad {
+			rep.PeakWindowLoad = load
+		}
+		if load > ch.cfg.CapacityPerWindow {
+			rep.OverloadedWindows++
+			rep.DroppedMessages += load - ch.cfg.CapacityPerWindow
+		}
+	}
+	return rep
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"d2dhb/internal/cellular"
+	"d2dhb/internal/hbmsg"
+)
+
+// TestConservationAcrossRandomCrowds checks system-wide accounting
+// identities over a spread of random crowd scenarios:
+//
+//  1. every UE heartbeat leaves the device exactly once
+//     (generated == viaD2D + direct),
+//  2. every forwarded heartbeat is resolved
+//     (viaD2D == acks + fallbacks + still-pending + stranded-in-relay),
+//  3. network-side deliveries equal the transmissions' payloads
+//     (deliveries == relay own + relay forwarded + UE direct + fallbacks).
+//
+// Any lost, duplicated or double-counted message breaks one of these.
+func TestConservationAcrossRandomCrowds(t *testing.T) {
+	for _, seed := range []int64{1, 7, 23, 99, 512} {
+		seed := seed
+		sim, err := CrowdScenario(Options{Seed: seed, Duration: 3 * std().Period},
+			std(), 4, 25, 80, 6)
+		if err != nil {
+			t.Fatalf("seed %d: CrowdScenario: %v", seed, err)
+		}
+		// Track per-source deliveries to catch duplicates.
+		perSource := make(map[hbmsg.DeviceID]int)
+		sim.OnDeliver(func(d cellular.Delivery) { perSource[d.HB.Src]++ })
+		rep, err := sim.Run()
+		if err != nil {
+			t.Fatalf("seed %d: Run: %v", seed, err)
+		}
+
+		var (
+			generated, viaD2D, direct, fallbacks, acks    int
+			relayOwn, relayForwarded, collected, rejected int
+			sendFailures                                  int
+		)
+		for _, d := range rep.Devices {
+			if d.UE != nil {
+				generated += d.UE.Generated
+				viaD2D += d.UE.SentViaD2D
+				direct += d.UE.DirectCellular
+				fallbacks += d.UE.FallbackResends
+				acks += d.UE.AcksReceived
+				sendFailures += d.UE.SendErrors
+			}
+			if d.Relay != nil {
+				relayOwn += d.Relay.OwnHeartbeats
+				relayForwarded += d.Relay.ForwardedSent
+				collected += d.Relay.Collected
+				rejected += d.Relay.RejectedClosed + d.Relay.RejectedExpired
+			}
+		}
+		if sendFailures != 0 {
+			t.Fatalf("seed %d: unexpected send errors: %d", seed, sendFailures)
+		}
+
+		// (1) Every generated heartbeat leaves exactly once.
+		if generated != viaD2D+direct {
+			t.Fatalf("seed %d: generated %d != viaD2D %d + direct %d",
+				seed, generated, viaD2D, direct)
+		}
+
+		// (2) Every forwarded heartbeat is accounted for. Pending =
+		// forwarded but neither acked nor timed out at the horizon;
+		// stranded = accepted by a relay whose flush lies beyond the
+		// horizon. Both are bounded by what the relays still hold.
+		unresolved := viaD2D - acks - fallbacks
+		if unresolved < 0 {
+			t.Fatalf("seed %d: more acks+fallbacks (%d) than forwards (%d)",
+				seed, acks+fallbacks, viaD2D)
+		}
+		// Forwards either got collected or rejected at the relay.
+		if viaD2D != collected+rejected {
+			t.Fatalf("seed %d: forwards %d != collected %d + rejected %d",
+				seed, viaD2D, collected, rejected)
+		}
+		// Collected messages either went out or are still pending in an
+		// open window.
+		stillHeld := collected - relayForwarded
+		if stillHeld < 0 {
+			t.Fatalf("seed %d: relays sent more (%d) than collected (%d)",
+				seed, relayForwarded, collected)
+		}
+
+		// (3) Deliveries match transmissions. Relay own heartbeats may
+		// have one un-flushed final-period message per relay.
+		wantDeliveries := relayForwarded + direct + fallbacks
+		gotForwardDeliveries := rep.Deliveries
+		ownDelivered := 0
+		for src, n := range perSource {
+			if d, ok := rep.Device(src); ok && d.Relay != nil {
+				ownDelivered += n
+			}
+		}
+		gotForwardDeliveries -= ownDelivered
+		if gotForwardDeliveries != wantDeliveries {
+			t.Fatalf("seed %d: deliveries %d (non-own) != forwarded %d + direct %d + fallbacks %d",
+				seed, gotForwardDeliveries, relayForwarded, direct, fallbacks)
+		}
+		if ownDelivered > relayOwn {
+			t.Fatalf("seed %d: own deliveries %d exceed own heartbeats %d",
+				seed, ownDelivered, relayOwn)
+		}
+
+		// No duplicate deliveries for any UE source unless a fallback
+		// raced a live relay (acks and fallbacks are disjoint, so a
+		// duplicate means src count > generated).
+		for src, n := range perSource {
+			d, ok := rep.Device(src)
+			if !ok || d.UE == nil {
+				continue
+			}
+			if n > d.UE.Generated {
+				t.Fatalf("seed %d: device %s delivered %d times for %d generated",
+					seed, src, n, d.UE.Generated)
+			}
+		}
+	}
+}

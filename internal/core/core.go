@@ -1,0 +1,422 @@
+// Package core assembles the complete D2D heartbeat-relaying framework: it
+// wires the D2D Detector (discovery/connection), Message Monitor (per-app
+// heartbeat generation) and Message Scheduler (Algorithm 1) onto the
+// simulated substrates — discrete-event clock, radio medium, RRC/cellular
+// network and energy model — and produces per-device and aggregate reports.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"d2dhb/internal/cellular"
+	"d2dhb/internal/d2d"
+	"d2dhb/internal/device"
+	"d2dhb/internal/energy"
+	"d2dhb/internal/geo"
+	"d2dhb/internal/hbmsg"
+	"d2dhb/internal/matching"
+	"d2dhb/internal/presence"
+	"d2dhb/internal/radio"
+	"d2dhb/internal/rrc"
+	"d2dhb/internal/sched"
+	"d2dhb/internal/simtime"
+	"d2dhb/internal/trace"
+)
+
+// Options parameterize a Simulation.
+type Options struct {
+	// Seed drives every random choice; equal seeds reproduce runs
+	// exactly.
+	Seed int64
+	// Duration is the simulated horizon.
+	Duration time.Duration
+	// Technique selects the D2D radio (Wi-Fi Direct by default).
+	Technique radio.Technique
+	// EnergyModel holds the charge constants; zero value selects the
+	// paper calibration.
+	EnergyModel *energy.Model
+	// RRC holds the signaling model; zero value selects the default.
+	RRC *rrc.Config
+	// Match configures UE relay selection; zero value selects the
+	// default.
+	Match *matching.Config
+	// Policy selects the relay scheduling policy (Algorithm 1 by
+	// default).
+	Policy sched.Kind
+	// FixedDelay applies when Policy is KindFixedDelay.
+	FixedDelay time.Duration
+	// FeedbackTimeout overrides the UE ack wait (0 = default).
+	FeedbackTimeout time.Duration
+	// DisableD2D runs the original system: every device sends its own
+	// heartbeats directly over cellular.
+	DisableD2D bool
+	// Channel enables control-channel load tracking (signaling-storm
+	// analysis) when non-nil.
+	Channel *cellular.ChannelConfig
+	// Tracer receives one structured event per load-bearing action when
+	// non-nil (see internal/trace).
+	Tracer trace.Tracer
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Duration <= 0 {
+		return o, fmt.Errorf("core: duration must be positive, got %v", o.Duration)
+	}
+	if o.Technique == 0 {
+		o.Technique = radio.WiFiDirect
+	}
+	if o.EnergyModel == nil {
+		m := energy.DefaultModel()
+		o.EnergyModel = &m
+	}
+	if o.RRC == nil {
+		c := rrc.DefaultConfig()
+		o.RRC = &c
+	}
+	if o.Match == nil {
+		c := matching.DefaultConfig()
+		o.Match = &c
+	}
+	if o.Policy == 0 {
+		o.Policy = sched.KindNagle
+	}
+	return o, nil
+}
+
+// RelaySpec describes one relay device to add to the simulation.
+type RelaySpec struct {
+	ID          hbmsg.DeviceID
+	Profile     hbmsg.AppProfile
+	Mobility    geo.Mobility
+	Capacity    int
+	StartOffset time.Duration
+}
+
+// UESpec describes one UE device to add to the simulation.
+type UESpec struct {
+	ID      hbmsg.DeviceID
+	Profile hbmsg.AppProfile
+	// ExtraProfiles adds more apps to the same device, each with its own
+	// heartbeat loop.
+	ExtraProfiles []hbmsg.AppProfile
+	Mobility      geo.Mobility
+	StartOffset   time.Duration
+}
+
+// Simulation is a configured scenario ready to run.
+type Simulation struct {
+	opts   Options
+	sched  *simtime.Scheduler
+	medium *d2d.Medium
+	bs     *cellular.BaseStation
+
+	relays   []*device.Relay
+	ues      []*device.UE
+	ledgers  map[hbmsg.DeviceID]*energy.Ledger
+	roles    map[hbmsg.DeviceID]d2d.Role
+	order    []hbmsg.DeviceID
+	tracker  *presence.Tracker
+	observer func(cellular.Delivery)
+	ran      bool
+}
+
+// New builds an empty simulation; add devices with AddRelay/AddUE, then
+// Run.
+func New(opts Options) (*Simulation, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := simtime.NewScheduler(opts.Seed)
+	profile, err := radio.ProfileFor(opts.Technique)
+	if err != nil {
+		return nil, err
+	}
+	medium, err := d2d.NewMedium(s, d2d.Config{Profile: profile, Model: *opts.EnergyModel})
+	if err != nil {
+		return nil, err
+	}
+	bs, err := cellular.NewBaseStation(s)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Channel != nil {
+		if err := bs.EnableControlChannel(*opts.Channel); err != nil {
+			return nil, err
+		}
+	}
+	sim := &Simulation{
+		opts:    opts,
+		sched:   s,
+		medium:  medium,
+		bs:      bs,
+		ledgers: make(map[hbmsg.DeviceID]*energy.Ledger),
+		roles:   make(map[hbmsg.DeviceID]d2d.Role),
+		tracker: presence.NewTracker(),
+	}
+	bs.OnDeliver(func(d cellular.Delivery) {
+		// Out-of-order deliveries cannot occur: the event loop is
+		// single-threaded and time is monotone.
+		_ = sim.tracker.Deliver(d.HB, d.At)
+		trace.Emit(opts.Tracer, trace.Event{
+			AtMs:   trace.At(d.At),
+			Device: string(d.HB.Src),
+			Kind:   trace.KindDelivery,
+			App:    d.HB.App,
+			Seq:    d.HB.Seq,
+			Peer:   string(d.Via),
+			OnTime: d.OnTime,
+		})
+		if sim.observer != nil {
+			sim.observer(d)
+		}
+	})
+	return sim, nil
+}
+
+// OnDeliver registers an additional observer for network-side heartbeat
+// deliveries (presence tracking stays active).
+func (sim *Simulation) OnDeliver(f func(cellular.Delivery)) { sim.observer = f }
+
+// Scheduler exposes the simulation clock, e.g. to inject failures at a
+// chosen instant before Run.
+func (sim *Simulation) Scheduler() *simtime.Scheduler { return sim.sched }
+
+// BaseStation exposes the network side for custom observers.
+func (sim *Simulation) BaseStation() *cellular.BaseStation { return sim.bs }
+
+// AddRelay registers a relay device. Under DisableD2D the device is
+// downgraded to a plain cellular sender, so the same topology can be run
+// as the original system.
+func (sim *Simulation) AddRelay(spec RelaySpec) (*device.Relay, error) {
+	if sim.ran {
+		return nil, errors.New("core: simulation already ran")
+	}
+	if spec.Mobility == nil {
+		spec.Mobility = geo.Static{}
+	}
+	if spec.Capacity <= 0 {
+		spec.Capacity = 8
+	}
+	led := energy.NewLedger()
+	modem, err := sim.bs.Attach(spec.ID, *sim.opts.EnergyModel, *sim.opts.RRC, led)
+	if err != nil {
+		return nil, err
+	}
+	node, err := sim.medium.Join(spec.ID, d2d.RoleRelay, spec.Mobility, led)
+	if err != nil {
+		return nil, err
+	}
+	sim.ledgers[spec.ID] = led
+	sim.roles[spec.ID] = d2d.RoleRelay
+	sim.order = append(sim.order, spec.ID)
+
+	if sim.opts.DisableD2D {
+		// Original system: the would-be relay just sends its own
+		// heartbeats directly; register it as a D2D-disabled UE.
+		ue, err := device.NewUE(sim.sched, node, modem, device.UEConfig{
+			ID:          spec.ID,
+			Profile:     spec.Profile,
+			Match:       *sim.opts.Match,
+			StartOffset: spec.StartOffset,
+			DisableD2D:  true,
+			Tracer:      sim.opts.Tracer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sim.ues = append(sim.ues, ue)
+		return nil, nil
+	}
+
+	policy, err := sched.New(sim.opts.Policy, spec.Capacity, spec.Profile.Period, sim.opts.FixedDelay)
+	if err != nil {
+		return nil, err
+	}
+	relay, err := device.NewRelay(sim.sched, node, modem, device.RelayConfig{
+		ID:          spec.ID,
+		Profile:     spec.Profile,
+		Capacity:    spec.Capacity,
+		Policy:      policy,
+		StartOffset: spec.StartOffset,
+		Tracer:      sim.opts.Tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sim.relays = append(sim.relays, relay)
+	return relay, nil
+}
+
+// AddUE registers a UE device.
+func (sim *Simulation) AddUE(spec UESpec) (*device.UE, error) {
+	if sim.ran {
+		return nil, errors.New("core: simulation already ran")
+	}
+	if spec.Mobility == nil {
+		spec.Mobility = geo.Static{}
+	}
+	led := energy.NewLedger()
+	modem, err := sim.bs.Attach(spec.ID, *sim.opts.EnergyModel, *sim.opts.RRC, led)
+	if err != nil {
+		return nil, err
+	}
+	node, err := sim.medium.Join(spec.ID, d2d.RoleUE, spec.Mobility, led)
+	if err != nil {
+		return nil, err
+	}
+	ue, err := device.NewUE(sim.sched, node, modem, device.UEConfig{
+		ID:              spec.ID,
+		Profile:         spec.Profile,
+		ExtraProfiles:   spec.ExtraProfiles,
+		Match:           *sim.opts.Match,
+		FeedbackTimeout: sim.opts.FeedbackTimeout,
+		StartOffset:     spec.StartOffset,
+		DisableD2D:      sim.opts.DisableD2D,
+		Tracer:          sim.opts.Tracer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sim.ledgers[spec.ID] = led
+	sim.roles[spec.ID] = d2d.RoleUE
+	sim.order = append(sim.order, spec.ID)
+	sim.ues = append(sim.ues, ue)
+	return ue, nil
+}
+
+// Run starts every device and executes the scenario to the configured
+// horizon, returning the report. A simulation can only run once.
+func (sim *Simulation) Run() (*Report, error) {
+	if sim.ran {
+		return nil, errors.New("core: simulation already ran")
+	}
+	if len(sim.order) == 0 {
+		return nil, errors.New("core: no devices added")
+	}
+	sim.ran = true
+	for _, r := range sim.relays {
+		if err := r.Start(); err != nil {
+			return nil, err
+		}
+	}
+	for _, u := range sim.ues {
+		if err := u.Start(); err != nil {
+			return nil, err
+		}
+	}
+	if err := sim.sched.RunUntil(sim.opts.Duration); err != nil {
+		return nil, fmt.Errorf("core: run: %w", err)
+	}
+	return sim.report(), nil
+}
+
+func (sim *Simulation) report() *Report {
+	rep := &Report{
+		Duration: sim.opts.Duration,
+		byID:     make(map[hbmsg.DeviceID]*DeviceReport, len(sim.order)),
+	}
+	relayByID := make(map[hbmsg.DeviceID]*device.Relay, len(sim.relays))
+	for _, r := range sim.relays {
+		relayByID[r.ID()] = r
+	}
+	ueByID := make(map[hbmsg.DeviceID]*device.UE, len(sim.ues))
+	for _, u := range sim.ues {
+		ueByID[u.ID()] = u
+	}
+	for _, id := range sim.order {
+		led := sim.ledgers[id]
+		modem, _ := sim.bs.Modem(id)
+		_, flaps, _ := sim.tracker.Stats(id, sim.opts.Duration)
+		dr := &DeviceReport{
+			ID:            id,
+			Role:          sim.roles[id],
+			Energy:        led.Snapshot(),
+			Total:         led.Total(),
+			RRC:           modem.Counters(),
+			Availability:  sim.tracker.Availability(id, sim.opts.Duration),
+			PresenceFlaps: flaps,
+		}
+		if r, ok := relayByID[id]; ok {
+			st := r.Stats()
+			dr.Relay = &st
+		}
+		if u, ok := ueByID[id]; ok {
+			st := u.Stats()
+			dr.UE = &st
+		}
+		rep.Devices = append(rep.Devices, dr)
+		rep.byID[id] = dr
+	}
+	rep.TotalL3Messages = sim.bs.TotalL3Messages()
+	rep.Deliveries, rep.LateDeliveries = sim.bs.Deliveries()
+	rep.Channel = sim.bs.ChannelReport()
+	return rep
+}
+
+// DeviceReport is one device's share of the results.
+type DeviceReport struct {
+	ID     hbmsg.DeviceID
+	Role   d2d.Role
+	Energy map[energy.Phase]energy.MicroAmpHours
+	Total  energy.MicroAmpHours
+	RRC    rrc.Counters
+	// Availability is the fraction of time the device was online at the
+	// IM server between its first delivered heartbeat and the horizon —
+	// the instantaneity the framework must preserve (Section III).
+	Availability float64
+	// PresenceFlaps counts offline→online transitions at the server.
+	PresenceFlaps int
+	Relay         *device.RelayStats // nil for UEs
+	UE            *device.UEStats    // nil for relays
+}
+
+// Report aggregates a finished run.
+type Report struct {
+	Duration        time.Duration
+	Devices         []*DeviceReport
+	TotalL3Messages int
+	Deliveries      int
+	LateDeliveries  int
+	// Channel is the control-channel load summary (zero unless
+	// Options.Channel enabled tracking).
+	Channel cellular.ChannelReport
+
+	byID map[hbmsg.DeviceID]*DeviceReport
+}
+
+// Device returns the report for one device.
+func (r *Report) Device(id hbmsg.DeviceID) (*DeviceReport, bool) {
+	d, ok := r.byID[id]
+	return d, ok
+}
+
+// TotalEnergy sums charge across all devices.
+func (r *Report) TotalEnergy() energy.MicroAmpHours {
+	var sum energy.MicroAmpHours
+	for _, d := range r.Devices {
+		sum += d.Total
+	}
+	return sum
+}
+
+// EnergyByRole sums charge across devices with the given role.
+func (r *Report) EnergyByRole(role d2d.Role) energy.MicroAmpHours {
+	var sum energy.MicroAmpHours
+	for _, d := range r.Devices {
+		if d.Role == role {
+			sum += d.Total
+		}
+	}
+	return sum
+}
+
+// OnTimeRate returns the fraction of deliveries that met their deadline.
+func (r *Report) OnTimeRate() float64 {
+	if r.Deliveries == 0 {
+		return 0
+	}
+	return float64(r.Deliveries-r.LateDeliveries) / float64(r.Deliveries)
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"d2dhb/internal/geo"
+	"d2dhb/internal/hbmsg"
+)
+
+// PairScenario builds the paper's canonical measurement setup: one static
+// relay at the origin and n UEs placed at the given distance (meters),
+// every device running the same app profile. UE heartbeats are staggered a
+// few seconds apart so collections arrive in a deterministic order.
+func PairScenario(opts Options, profile hbmsg.AppProfile, numUEs int, distance float64, capacity int) (*Simulation, error) {
+	if numUEs < 0 {
+		return nil, fmt.Errorf("core: negative UE count %d", numUEs)
+	}
+	sim, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sim.AddRelay(RelaySpec{
+		ID:       "relay",
+		Profile:  profile,
+		Mobility: geo.Static{},
+		Capacity: capacity,
+	}); err != nil {
+		return nil, err
+	}
+	for i := 0; i < numUEs; i++ {
+		spec := UESpec{
+			ID:      hbmsg.DeviceID(fmt.Sprintf("ue-%02d", i+1)),
+			Profile: profile,
+			// UEs on a circle of the given radius around the relay.
+			Mobility: geo.Orbit{Radius: distance, Phase: float64(i)},
+			// Staggered offsets ≥ 20 s: collections arrive in a fixed
+			// order, and a horizon of k×period + 10 s covers exactly k
+			// heartbeats per UE including the final RRC release.
+			StartOffset: 20*time.Second + time.Duration(i)*5*time.Second,
+		}
+		if _, err := sim.AddUE(spec); err != nil {
+			return nil, err
+		}
+	}
+	return sim, nil
+}
+
+// OriginalScenario builds the same topology as PairScenario but with D2D
+// disabled everywhere: every device transmits its own heartbeats over
+// cellular. This is the paper's "original system" baseline.
+func OriginalScenario(opts Options, profile hbmsg.AppProfile, numUEs int, distance float64) (*Simulation, error) {
+	opts.DisableD2D = true
+	return PairScenario(opts, profile, numUEs, distance, 8)
+}
+
+// CrowdScenario scatters relays and UEs uniformly over a square area of the
+// given side (meters) — the "high-density crowd" deployment where signaling
+// storms arise (Section II-D). Devices are static; the per-device start
+// offsets are randomized within one period so heartbeats are unsynchronized.
+func CrowdScenario(opts Options, profile hbmsg.AppProfile, numRelays, numUEs int, side float64, capacity int) (*Simulation, error) {
+	if numRelays < 0 || numUEs < 0 {
+		return nil, fmt.Errorf("core: negative device counts %d/%d", numRelays, numUEs)
+	}
+	if side <= 0 {
+		return nil, fmt.Errorf("core: area side must be positive, got %v", side)
+	}
+	sim, err := New(opts)
+	if err != nil {
+		return nil, err
+	}
+	area := geo.Square(side)
+	rng := sim.sched.Rand()
+	for i := 0; i < numRelays; i++ {
+		if _, err := sim.AddRelay(RelaySpec{
+			ID:          hbmsg.DeviceID(fmt.Sprintf("relay-%02d", i+1)),
+			Profile:     profile,
+			Mobility:    geo.Static{P: area.RandomPoint(rng)},
+			Capacity:    capacity,
+			StartOffset: time.Duration(rng.Int63n(int64(profile.Period))),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < numUEs; i++ {
+		if _, err := sim.AddUE(UESpec{
+			ID:          hbmsg.DeviceID(fmt.Sprintf("ue-%03d", i+1)),
+			Profile:     profile,
+			Mobility:    geo.Static{P: area.RandomPoint(rng)},
+			StartOffset: time.Duration(rng.Int63n(int64(profile.Period))),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return sim, nil
+}

@@ -1,0 +1,414 @@
+// Package d2d implements the device-to-device substrate the prototype built
+// on Android Wi-Fi Direct: peer discovery with signal-strength ranking,
+// group-owner negotiation via the groupOwnerIntent value, link establishment
+// and message transfer with distance-dependent failures. Energy for each
+// phase is charged to the participating devices' ledgers using the
+// paper-calibrated model (Table III).
+package d2d
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"d2dhb/internal/energy"
+	"d2dhb/internal/geo"
+	"d2dhb/internal/hbmsg"
+	"d2dhb/internal/radio"
+	"d2dhb/internal/simtime"
+)
+
+// Errors returned by discovery, connection and transfer operations.
+var (
+	ErrUnknownPeer    = errors.New("d2d: unknown peer")
+	ErrOutOfRange     = errors.New("d2d: peer out of range")
+	ErrNotAccepting   = errors.New("d2d: peer not accepting connections")
+	ErrLinkClosed     = errors.New("d2d: link closed")
+	ErrTransferFailed = errors.New("d2d: transfer failed")
+	ErrDuplicateID    = errors.New("d2d: duplicate device id")
+)
+
+// Role distinguishes the two framework roles a device can take
+// (Section III-A). Discovery and connection energy differ by role
+// (Table III).
+type Role int
+
+// Device roles.
+const (
+	RoleUE Role = iota + 1
+	RoleRelay
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleUE:
+		return "ue"
+	case RoleRelay:
+		return "relay"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// MaxGroupOwnerIntent is Wi-Fi Direct's maximum groupOwnerIntent value; the
+// prototype sets it for relays initially and 0 for UEs (Section IV-C).
+const MaxGroupOwnerIntent = 15
+
+// IntentForLoad returns the advertised group-owner intent for a relay at
+// the given collected-message load: the prototype "reduce[s]
+// groupOwnerIntend proportionally until 0 while relay collects heartbeat
+// messages".
+func IntentForLoad(load, capacity int) int {
+	if capacity <= 0 || load >= capacity {
+		return 0
+	}
+	if load < 0 {
+		load = 0
+	}
+	return MaxGroupOwnerIntent * (capacity - load) / capacity
+}
+
+// PeerInfo is one discovery result: what a scanning UE learns about a
+// nearby relay.
+type PeerInfo struct {
+	ID hbmsg.DeviceID
+	// RSSI is the measured signal strength in dBm, including shadowing.
+	RSSI float64
+	// EstDistance is the distance estimate inverted from RSSI; the UE
+	// ranks candidates by it ("match the available relay, with the
+	// shortest distance").
+	EstDistance float64
+	// Intent is the peer's advertised group-owner intent.
+	Intent int
+	// FreeCapacity is how many more heartbeats the peer advertises it can
+	// collect this period.
+	FreeCapacity int
+}
+
+// Config parameterizes a Medium.
+type Config struct {
+	Profile radio.Profile
+	Model   energy.Model
+}
+
+// Medium is the shared radio environment: every Node joined to the same
+// Medium can discover and connect to the others, subject to range.
+type Medium struct {
+	sched   *simtime.Scheduler
+	profile radio.Profile
+	model   energy.Model
+	nodes   map[hbmsg.DeviceID]*Node
+	order   []hbmsg.DeviceID // deterministic iteration order
+}
+
+// NewMedium builds a Medium on the given scheduler.
+func NewMedium(sched *simtime.Scheduler, cfg Config) (*Medium, error) {
+	if sched == nil {
+		return nil, errors.New("d2d: nil scheduler")
+	}
+	if err := cfg.Profile.Validate(); err != nil {
+		return nil, fmt.Errorf("d2d: profile: %w", err)
+	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, fmt.Errorf("d2d: model: %w", err)
+	}
+	return &Medium{
+		sched:   sched,
+		profile: cfg.Profile,
+		model:   cfg.Model,
+		nodes:   make(map[hbmsg.DeviceID]*Node),
+	}, nil
+}
+
+// Profile returns the radio profile of the medium.
+func (m *Medium) Profile() radio.Profile { return m.profile }
+
+// Join registers a device on the medium. The ledger receives the device's
+// D2D energy charges.
+func (m *Medium) Join(id hbmsg.DeviceID, role Role, mob geo.Mobility, ledger *energy.Ledger) (*Node, error) {
+	if id == "" {
+		return nil, errors.New("d2d: empty device id")
+	}
+	if mob == nil {
+		return nil, errors.New("d2d: nil mobility")
+	}
+	if ledger == nil {
+		return nil, errors.New("d2d: nil ledger")
+	}
+	if role != RoleUE && role != RoleRelay {
+		return nil, fmt.Errorf("d2d: invalid role %d", int(role))
+	}
+	if _, ok := m.nodes[id]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrDuplicateID, id)
+	}
+	n := &Node{
+		id:     id,
+		role:   role,
+		medium: m,
+		mob:    mob,
+		ledger: ledger,
+		links:  make(map[hbmsg.DeviceID]*Link),
+	}
+	if role == RoleRelay {
+		n.intent = MaxGroupOwnerIntent
+	}
+	m.nodes[id] = n
+	m.order = append(m.order, id)
+	return n, nil
+}
+
+// Node is one device's D2D adapter.
+type Node struct {
+	id     hbmsg.DeviceID
+	role   Role
+	medium *Medium
+	mob    geo.Mobility
+	ledger *energy.Ledger
+
+	accepting    bool
+	freeCapacity int
+	intent       int
+
+	links   map[hbmsg.DeviceID]*Link
+	receive func(hb hbmsg.Heartbeat, link *Link)
+	ack     func(refs []AckRef, link *Link)
+}
+
+// ID returns the device id.
+func (n *Node) ID() hbmsg.DeviceID { return n.id }
+
+// Role returns the device role.
+func (n *Node) Role() Role { return n.role }
+
+// Pos returns the device's current position.
+func (n *Node) Pos() geo.Point { return n.mob.Pos(n.medium.sched.Now()) }
+
+// SetAccepting controls whether the node answers discovery and accepts
+// connections (relays only, in practice).
+func (n *Node) SetAccepting(accepting bool) { n.accepting = accepting }
+
+// Advertise updates the relay's advertised free capacity and group-owner
+// intent.
+func (n *Node) Advertise(freeCapacity, intent int) {
+	if freeCapacity < 0 {
+		freeCapacity = 0
+	}
+	if intent < 0 {
+		intent = 0
+	}
+	if intent > MaxGroupOwnerIntent {
+		intent = MaxGroupOwnerIntent
+	}
+	n.freeCapacity = freeCapacity
+	n.intent = intent
+}
+
+// Advertised returns the node's currently advertised free capacity and
+// group-owner intent. Group members observe the owner's beacons, so a
+// connected UE can read this without a rescan.
+func (n *Node) Advertised() (freeCapacity, intent int) {
+	return n.freeCapacity, n.intent
+}
+
+// OnReceive registers the handler invoked for every heartbeat delivered to
+// this node over any link.
+func (n *Node) OnReceive(h func(hb hbmsg.Heartbeat, link *Link)) { n.receive = h }
+
+// Links returns the node's open links in deterministic (peer id) order.
+func (n *Node) Links() []*Link {
+	out := make([]*Link, 0, len(n.links))
+	ids := make([]string, 0, len(n.links))
+	for id := range n.links {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		out = append(out, n.links[hbmsg.DeviceID(id)])
+	}
+	return out
+}
+
+// Scan performs a D2D discovery: it returns every accepting peer in radio
+// range, ranked nearest-first by RSSI-estimated distance. The scanning
+// device is charged its discovery energy. Responding peers are not charged
+// here: beacon responses ride the idle baseline, and the relay's measured
+// discovery energy (Table III, slightly below the initiator's) is
+// attributed at group formation in Connect — otherwise every bystander scan
+// in a crowd would bill each relay a full discovery phase.
+func (n *Node) Scan() []PeerInfo {
+	m := n.medium
+	n.chargeDiscovery(n.role)
+
+	var found []PeerInfo
+	for _, id := range m.order {
+		peer := m.nodes[id]
+		if peer == n || !peer.accepting {
+			continue
+		}
+		d := n.Pos().Dist(peer.Pos())
+		if !m.profile.InRange(d) {
+			continue
+		}
+		rssi := m.profile.MeasureRSSI(d, m.sched.Rand())
+		found = append(found, PeerInfo{
+			ID:           peer.id,
+			RSSI:         rssi,
+			EstDistance:  m.profile.EstimateDistance(rssi),
+			Intent:       peer.intent,
+			FreeCapacity: peer.freeCapacity,
+		})
+	}
+	sort.Slice(found, func(i, j int) bool {
+		if found[i].EstDistance != found[j].EstDistance {
+			return found[i].EstDistance < found[j].EstDistance
+		}
+		return found[i].ID < found[j].ID
+	})
+	return found
+}
+
+func (n *Node) chargeDiscovery(role Role) {
+	if role == RoleRelay {
+		n.ledger.Add(energy.PhaseDiscovery, n.medium.model.RelayDiscovery)
+		return
+	}
+	n.ledger.Add(energy.PhaseDiscovery, n.medium.model.UEDiscovery)
+}
+
+// Connect establishes a D2D link with peer. The initiator is the group
+// client (UE, intent 0); the responder must advertise a higher group-owner
+// intent and be accepting. Both sides are charged their connection energy
+// (Table III).
+func (n *Node) Connect(peer hbmsg.DeviceID) (*Link, error) {
+	m := n.medium
+	p, ok := m.nodes[peer]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownPeer, peer)
+	}
+	if !p.accepting {
+		return nil, fmt.Errorf("%w: %s", ErrNotAccepting, peer)
+	}
+	d := n.Pos().Dist(p.Pos())
+	if !m.profile.InRange(d) {
+		return nil, fmt.Errorf("%w: %s at %.1fm", ErrOutOfRange, peer, d)
+	}
+	if l, ok := n.links[peer]; ok && l.open {
+		return l, nil // already connected
+	}
+
+	n.chargeConnection(n.role)
+	// The responder's discovery phase (listen + probe responses for this
+	// pairing) is billed here, at group formation.
+	p.chargeDiscovery(p.role)
+	p.chargeConnection(p.role)
+
+	l := &Link{
+		medium:    m,
+		initiator: n,
+		responder: p,
+		open:      true,
+		openedAt:  m.sched.Now(),
+	}
+	n.links[peer] = l
+	p.links[n.id] = l
+	return l, nil
+}
+
+func (n *Node) chargeConnection(role Role) {
+	if role == RoleRelay {
+		n.ledger.Add(energy.PhaseConnection, n.medium.model.RelayConnection)
+		return
+	}
+	n.ledger.Add(energy.PhaseConnection, n.medium.model.UEConnection)
+}
+
+// Link is an established D2D connection between an initiating UE and a
+// responding relay.
+type Link struct {
+	medium    *Medium
+	initiator *Node // UE side
+	responder *Node // relay side
+	open      bool
+	openedAt  time.Duration
+	transfers int
+}
+
+// Initiator returns the UE-side node.
+func (l *Link) Initiator() *Node { return l.initiator }
+
+// Responder returns the relay-side node.
+func (l *Link) Responder() *Node { return l.responder }
+
+// Open reports whether the link is usable.
+func (l *Link) Open() bool { return l.open }
+
+// OpenedAt returns the instant the link was established.
+func (l *Link) OpenedAt() time.Duration { return l.openedAt }
+
+// Transfers returns how many successful transfers crossed the link.
+func (l *Link) Transfers() int { return l.transfers }
+
+// Distance returns the current physical separation of the endpoints.
+func (l *Link) Distance() float64 {
+	return l.initiator.Pos().Dist(l.responder.Pos())
+}
+
+// Peer returns the opposite endpoint of n on this link.
+func (l *Link) Peer(n *Node) *Node {
+	if l.initiator == n {
+		return l.responder
+	}
+	return l.initiator
+}
+
+// Send transfers a heartbeat from `from` to the opposite endpoint. The
+// sender is charged D2D send energy and the receiver recv energy; the first
+// transfer over a link carries the group wake-up cost (Table IV). Transfers
+// fail with ErrOutOfRange when mobility carried the peers apart (the link
+// closes) or ErrTransferFailed on a distance-dependent loss (the link stays
+// up; the caller may retry or fall back to cellular).
+func (l *Link) Send(from *Node, hb hbmsg.Heartbeat) error {
+	if !l.open {
+		return ErrLinkClosed
+	}
+	if from != l.initiator && from != l.responder {
+		return fmt.Errorf("d2d: node %s not an endpoint", from.id)
+	}
+	m := l.medium
+	d := l.Distance()
+	if !m.profile.InRange(d) {
+		l.Close()
+		return fmt.Errorf("%w: %.1fm", ErrOutOfRange, d)
+	}
+	to := l.Peer(from)
+
+	// The radio spends energy on the attempt whether or not it succeeds.
+	from.ledger.Add(energy.PhaseD2DSend, m.model.D2DSendCharge(hb.Size, d))
+	if !m.profile.TransferOK(d, m.sched.Rand()) {
+		return fmt.Errorf("%w: at %.1fm", ErrTransferFailed, d)
+	}
+	to.ledger.Add(energy.PhaseD2DRecv, m.model.D2DRecvCharge(hb.Size, d, l.transfers == 0))
+	l.transfers++
+	if to.receive != nil {
+		to.receive(hb, l)
+	}
+	return nil
+}
+
+// TransferTime returns the link-layer latency for a message of the given
+// size.
+func (l *Link) TransferTime(sizeBytes int) time.Duration {
+	return l.medium.profile.TransferTime(sizeBytes)
+}
+
+// Close tears the link down on both endpoints.
+func (l *Link) Close() {
+	if !l.open {
+		return
+	}
+	l.open = false
+	delete(l.initiator.links, l.responder.id)
+	delete(l.responder.links, l.initiator.id)
+}

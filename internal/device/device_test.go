@@ -1,0 +1,672 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"d2dhb/internal/cellular"
+	"d2dhb/internal/d2d"
+	"d2dhb/internal/energy"
+	"d2dhb/internal/geo"
+	"d2dhb/internal/hbmsg"
+	"d2dhb/internal/matching"
+	"d2dhb/internal/radio"
+	"d2dhb/internal/rrc"
+	"d2dhb/internal/sched"
+	"d2dhb/internal/simtime"
+)
+
+// rig is a miniature end-to-end wiring of the substrates for device tests.
+type rig struct {
+	sched  *simtime.Scheduler
+	medium *d2d.Medium
+	bs     *cellular.BaseStation
+	model  energy.Model
+}
+
+func newRig(t *testing.T, seed int64) *rig {
+	t.Helper()
+	s := simtime.NewScheduler(seed)
+	model := energy.DefaultModel()
+	medium, err := d2d.NewMedium(s, d2d.Config{Profile: radio.WiFiDirectProfile(), Model: model})
+	if err != nil {
+		t.Fatalf("NewMedium: %v", err)
+	}
+	bs, err := cellular.NewBaseStation(s)
+	if err != nil {
+		t.Fatalf("NewBaseStation: %v", err)
+	}
+	return &rig{sched: s, medium: medium, bs: bs, model: model}
+}
+
+func (r *rig) addRelay(t *testing.T, id hbmsg.DeviceID, mob geo.Mobility, cfg RelayConfig) (*Relay, *energy.Ledger) {
+	t.Helper()
+	led := energy.NewLedger()
+	node, err := r.medium.Join(id, d2d.RoleRelay, mob, led)
+	if err != nil {
+		t.Fatalf("Join relay: %v", err)
+	}
+	modem, err := r.bs.Attach(id, r.model, rrc.DefaultConfig(), led)
+	if err != nil {
+		t.Fatalf("Attach relay: %v", err)
+	}
+	cfg.ID = id
+	relay, err := NewRelay(r.sched, node, modem, cfg)
+	if err != nil {
+		t.Fatalf("NewRelay: %v", err)
+	}
+	if err := relay.Start(); err != nil {
+		t.Fatalf("relay Start: %v", err)
+	}
+	return relay, led
+}
+
+func (r *rig) addUE(t *testing.T, id hbmsg.DeviceID, mob geo.Mobility, cfg UEConfig) (*UE, *energy.Ledger) {
+	t.Helper()
+	led := energy.NewLedger()
+	node, err := r.medium.Join(id, d2d.RoleUE, mob, led)
+	if err != nil {
+		t.Fatalf("Join ue: %v", err)
+	}
+	modem, err := r.bs.Attach(id, r.model, rrc.DefaultConfig(), led)
+	if err != nil {
+		t.Fatalf("Attach ue: %v", err)
+	}
+	cfg.ID = id
+	if cfg.Match.MaxDistance == 0 {
+		cfg.Match = matching.DefaultConfig()
+	}
+	ue, err := NewUE(r.sched, node, modem, cfg)
+	if err != nil {
+		t.Fatalf("NewUE: %v", err)
+	}
+	if err := ue.Start(); err != nil {
+		t.Fatalf("ue Start: %v", err)
+	}
+	return ue, led
+}
+
+func std() hbmsg.AppProfile { return hbmsg.StandardHeartbeat() }
+
+func TestRelayConfigValidation(t *testing.T) {
+	r := newRig(t, 1)
+	led := energy.NewLedger()
+	node, err := r.medium.Join("x", d2d.RoleRelay, geo.Static{}, led)
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	modem, err := r.bs.Attach("x", r.model, rrc.DefaultConfig(), led)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	if _, err := NewRelay(nil, node, modem, RelayConfig{ID: "x", Profile: std(), Capacity: 5}); err == nil {
+		t.Fatal("nil scheduler accepted")
+	}
+	if _, err := NewRelay(r.sched, node, modem, RelayConfig{Profile: std(), Capacity: 5}); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if _, err := NewRelay(r.sched, node, modem, RelayConfig{ID: "x", Profile: std(), Capacity: 0}); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := NewRelay(r.sched, node, modem, RelayConfig{ID: "x", Profile: std(), Capacity: 5, StartOffset: -1}); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+func TestUEConfigValidation(t *testing.T) {
+	r := newRig(t, 1)
+	led := energy.NewLedger()
+	node, err := r.medium.Join("x", d2d.RoleUE, geo.Static{}, led)
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	modem, err := r.bs.Attach("x", r.model, rrc.DefaultConfig(), led)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	good := UEConfig{ID: "x", Profile: std(), Match: matching.DefaultConfig()}
+	if _, err := NewUE(r.sched, node, nil, good); err == nil {
+		t.Fatal("nil modem accepted")
+	}
+	bad := good
+	bad.ID = ""
+	if _, err := NewUE(r.sched, node, modem, bad); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	bad = good
+	bad.FeedbackTimeout = -time.Second
+	if _, err := NewUE(r.sched, node, modem, bad); err == nil {
+		t.Fatal("negative feedback timeout accepted")
+	}
+	bad = good
+	bad.Match.MaxDistance = -1
+	if _, err := NewUE(r.sched, node, modem, bad); err == nil {
+		t.Fatal("invalid match config accepted")
+	}
+}
+
+func TestSingleUESingleRelayHappyPath(t *testing.T) {
+	// The paper's core experiment: one relay, one UE 1 m apart. The UE
+	// forwards every heartbeat over D2D, the relay aggregates it with its
+	// own heartbeat into one cellular connection per period, and the UE
+	// receives feedback for every message.
+	r := newRig(t, 42)
+	relay, _ := r.addRelay(t, "relay", geo.Static{P: geo.Point{X: 0}}, RelayConfig{
+		Profile: std(), Capacity: 8,
+	})
+	ue, _ := r.addUE(t, "ue", geo.Static{P: geo.Point{X: 1}}, UEConfig{
+		Profile: std(), StartOffset: 10 * time.Second,
+	})
+
+	horizon := 8 * std().Period // 8 relay periods
+	if err := r.sched.RunUntil(horizon); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+
+	us, rs := ue.Stats(), relay.Stats()
+	if us.Generated < 7 {
+		t.Fatalf("UE generated %d heartbeats, want >= 7", us.Generated)
+	}
+	if us.SentViaD2D != us.Generated {
+		t.Fatalf("sent via D2D %d of %d generated", us.SentViaD2D, us.Generated)
+	}
+	if us.DirectCellular != 0 || us.FallbackResends != 0 {
+		t.Fatalf("unexpected cellular sends: direct=%d fallback=%d", us.DirectCellular, us.FallbackResends)
+	}
+	// The last forwarded message may still be pending at the horizon.
+	if us.AcksReceived < us.SentViaD2D-1 {
+		t.Fatalf("acks %d, want >= %d", us.AcksReceived, us.SentViaD2D-1)
+	}
+	if rs.Collected < us.SentViaD2D-1 {
+		t.Fatalf("relay collected %d, want >= %d", rs.Collected, us.SentViaD2D-1)
+	}
+	if rs.Credits != rs.ForwardedSent {
+		t.Fatalf("credits %d != forwarded %d", rs.Credits, rs.ForwardedSent)
+	}
+
+	// Signaling: the UE's modem must have zero transmissions; the relay
+	// carries everything.
+	ueModem, _ := r.bs.Modem("ue")
+	if got := ueModem.Counters().Transmissions; got != 0 {
+		t.Fatalf("UE cellular transmissions = %d, want 0", got)
+	}
+	relayModem, _ := r.bs.Modem("relay")
+	if got := relayModem.Counters().Transmissions; got != rs.Flushes {
+		t.Fatalf("relay transmissions %d != flushes %d", got, rs.Flushes)
+	}
+	// One aggregated transmission per period.
+	if rs.Flushes > 8 {
+		t.Fatalf("flushes = %d, want <= 8 (one per period)", rs.Flushes)
+	}
+
+	// Deliveries: everything flushed must be on time.
+	total, late := r.bs.Deliveries()
+	if total == 0 {
+		t.Fatal("no deliveries")
+	}
+	if late != 0 {
+		t.Fatalf("late deliveries = %d, want 0", late)
+	}
+}
+
+func TestRelayCapacityTriggersEarlyFlush(t *testing.T) {
+	r := newRig(t, 7)
+	relay, _ := r.addRelay(t, "relay", geo.Static{}, RelayConfig{
+		Profile: std(), Capacity: 2,
+	})
+	// Three UEs forward within one relay period; capacity 2 flushes early.
+	// The third UE sees the relay advertising zero free capacity and sends
+	// directly over cellular instead of connecting.
+	ues := make([]*UE, 0, 3)
+	for i, off := range []time.Duration{5 * time.Second, 10 * time.Second, 15 * time.Second} {
+		id := hbmsg.DeviceID(rune('a' + i))
+		ue, _ := r.addUE(t, id, geo.Static{P: geo.Point{X: float64(i) + 1}}, UEConfig{
+			Profile: std(), StartOffset: off,
+		})
+		ues = append(ues, ue)
+	}
+	if err := r.sched.RunUntil(60 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	rs := relay.Stats()
+	if rs.Flushes != 1 {
+		t.Fatalf("flushes = %d, want 1 (capacity flush)", rs.Flushes)
+	}
+	if rs.Collected != 2 {
+		t.Fatalf("collected = %d, want 2", rs.Collected)
+	}
+	if got := relay.Policy().(*sched.Nagle).LastFlushReason(); got != sched.ReasonCapacity {
+		t.Fatalf("flush reason = %v, want capacity", got)
+	}
+	third := ues[2].Stats()
+	if third.Matches != 0 || third.DirectCellular != 1 {
+		t.Fatalf("third UE stats = %+v, want no match and 1 direct send", third)
+	}
+}
+
+func TestConnectedUEGoesDirectWhenWindowClosed(t *testing.T) {
+	// A UE that is already connected when the window closes sees the
+	// relay advertising zero capacity and sends directly over cellular —
+	// on time, with no wasted D2D transfer or late fallback.
+	r := newRig(t, 8)
+	fast := std()
+	fast.Period = 100 * time.Second // UE beats faster than the relay window
+	relay, _ := r.addRelay(t, "relay", geo.Static{}, RelayConfig{
+		Profile: std(), Capacity: 1,
+	})
+	ue, _ := r.addUE(t, "ue", geo.Static{P: geo.Point{X: 1}}, UEConfig{
+		Profile: fast, StartOffset: 5 * time.Second,
+	})
+	if err := r.sched.RunUntil(260 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	rs, us := relay.Stats(), ue.Stats()
+	if rs.Collected != 1 {
+		t.Fatalf("collected = %d, want 1 (capacity 1)", rs.Collected)
+	}
+	// Heartbeats at 105 s and 205 s hit the closed window and go direct.
+	if us.RelayBusy != 2 {
+		t.Fatalf("relay-busy sends = %d, want 2", us.RelayBusy)
+	}
+	if us.DirectCellular != 2 {
+		t.Fatalf("direct sends = %d, want 2", us.DirectCellular)
+	}
+	if us.FallbackResends != 0 {
+		t.Fatalf("fallbacks = %d, want 0 (busy relay detected up front)", us.FallbackResends)
+	}
+	total, late := r.bs.Deliveries()
+	if late != 0 {
+		t.Fatalf("late = %d of %d, want 0", late, total)
+	}
+}
+
+func TestRelayFailureTriggersUEFallback(t *testing.T) {
+	// Section III-A: if the relay dies before transmitting, the UE gets no
+	// feedback and resends over cellular.
+	r := newRig(t, 9)
+	relay, _ := r.addRelay(t, "relay", geo.Static{}, RelayConfig{
+		Profile: std(), Capacity: 8,
+	})
+	ue, ueLed := r.addUE(t, "ue", geo.Static{P: geo.Point{X: 1}}, UEConfig{
+		Profile: std(), StartOffset: 10 * time.Second,
+	})
+
+	// Let the first heartbeat be forwarded, then kill the relay before its
+	// flush (flush would happen at 270 s).
+	if _, err := r.sched.At(20*time.Second, relay.Stop); err != nil {
+		t.Fatalf("At: %v", err)
+	}
+	if err := r.sched.RunUntil(310 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+
+	us := ue.Stats()
+	if us.SentViaD2D != 1 {
+		t.Fatalf("sent via D2D = %d, want 1", us.SentViaD2D)
+	}
+	if us.FallbackResends != 1 {
+		t.Fatalf("fallback resends = %d, want 1", us.FallbackResends)
+	}
+	if us.AcksReceived != 0 {
+		t.Fatalf("acks = %d, want 0", us.AcksReceived)
+	}
+	if ueLed.Phase(energy.PhaseFallback) == 0 {
+		t.Fatal("fallback energy not charged")
+	}
+	// The resent heartbeat reaches the network, albeit late.
+	total, late := r.bs.Deliveries()
+	if total == 0 || late == 0 {
+		t.Fatalf("deliveries = %d (%d late), want the late fallback delivery", total, late)
+	}
+}
+
+func TestUEOutOfRangeSendsDirect(t *testing.T) {
+	r := newRig(t, 3)
+	r.addRelay(t, "relay", geo.Static{}, RelayConfig{Profile: std(), Capacity: 8})
+	ue, _ := r.addUE(t, "ue", geo.Static{P: geo.Point{X: 500}}, UEConfig{
+		Profile: std(), StartOffset: 5 * time.Second,
+	})
+	if err := r.sched.RunUntil(30 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	us := ue.Stats()
+	if us.DirectCellular != 1 {
+		t.Fatalf("direct sends = %d, want 1", us.DirectCellular)
+	}
+	if us.MatchFailures != 1 {
+		t.Fatalf("match failures = %d, want 1", us.MatchFailures)
+	}
+	ueModem, _ := r.bs.Modem("ue")
+	if ueModem.Counters().Transmissions != 1 {
+		t.Fatal("UE modem did not transmit")
+	}
+}
+
+func TestUEPrejudgmentRejectsFarRelay(t *testing.T) {
+	// A relay inside radio range but beyond the 15 m prejudgment distance
+	// must be rejected (Fig. 12: D2D beyond ~15 m wastes energy).
+	r := newRig(t, 3)
+	r.addRelay(t, "relay", geo.Static{P: geo.Point{X: 25}}, RelayConfig{Profile: std(), Capacity: 8})
+	ue, _ := r.addUE(t, "ue", geo.Static{}, UEConfig{
+		Profile: std(), StartOffset: 5 * time.Second,
+	})
+	if err := r.sched.RunUntil(30 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	us := ue.Stats()
+	if us.Matches != 0 {
+		t.Fatalf("matches = %d, want 0 (prejudgment)", us.Matches)
+	}
+	if us.DirectCellular != 1 {
+		t.Fatalf("direct sends = %d, want 1", us.DirectCellular)
+	}
+}
+
+func TestDisableD2DIsOriginalSystem(t *testing.T) {
+	r := newRig(t, 5)
+	r.addRelay(t, "relay", geo.Static{}, RelayConfig{Profile: std(), Capacity: 8})
+	ue, led := r.addUE(t, "ue", geo.Static{P: geo.Point{X: 1}}, UEConfig{
+		Profile: std(), StartOffset: 5 * time.Second, DisableD2D: true,
+	})
+	if err := r.sched.RunUntil(std().Period * 3); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	us := ue.Stats()
+	if us.SentViaD2D != 0 || us.Scans != 0 {
+		t.Fatalf("D2D activity in original system: %+v", us)
+	}
+	if us.DirectCellular != us.Generated {
+		t.Fatalf("direct %d != generated %d", us.DirectCellular, us.Generated)
+	}
+	if led.Phase(energy.PhaseDiscovery) != 0 || led.Phase(energy.PhaseD2DSend) != 0 {
+		t.Fatal("D2D energy charged in original system")
+	}
+}
+
+func TestMobileUELosesLinkAndFallsBack(t *testing.T) {
+	// The UE walks out of D2D range mid-run; subsequent forwards fail at
+	// the link and go direct over cellular.
+	r := newRig(t, 11)
+	r.addRelay(t, "relay", geo.Static{}, RelayConfig{Profile: std(), Capacity: 8})
+	led := energy.NewLedger()
+	mob := geo.Line{From: geo.Point{X: 1}, To: geo.Point{X: 400}, Speed: 2, Start: 20 * time.Second}
+	node, err := r.medium.Join("ue", d2d.RoleUE, mob, led)
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	modem, err := r.bs.Attach("ue", r.model, rrc.DefaultConfig(), led)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	ue, err := NewUE(r.sched, node, modem, UEConfig{
+		ID: "ue", Profile: std(), Match: matching.DefaultConfig(), StartOffset: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("NewUE: %v", err)
+	}
+	if err := ue.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := r.sched.RunUntil(std().Period * 4); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	us := ue.Stats()
+	if us.SentViaD2D < 1 {
+		t.Fatalf("first heartbeat not forwarded: %+v", us)
+	}
+	if us.DirectCellular+us.D2DSendFailures == 0 {
+		t.Fatalf("no fallback after walking out of range: %+v", us)
+	}
+	if ue.Connected() {
+		t.Fatal("UE still connected after leaving range")
+	}
+}
+
+func TestUEStopCancelsTimers(t *testing.T) {
+	r := newRig(t, 13)
+	r.addRelay(t, "relay", geo.Static{}, RelayConfig{Profile: std(), Capacity: 8})
+	ue, _ := r.addUE(t, "ue", geo.Static{P: geo.Point{X: 1}}, UEConfig{
+		Profile: std(), StartOffset: 5 * time.Second,
+	})
+	if _, err := r.sched.At(10*time.Second, ue.Stop); err != nil {
+		t.Fatalf("At: %v", err)
+	}
+	if err := r.sched.RunUntil(std().Period * 2); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	us := ue.Stats()
+	if us.Generated != 1 {
+		t.Fatalf("generated = %d after Stop, want 1", us.Generated)
+	}
+	if us.FallbackResends != 0 {
+		t.Fatalf("fallback fired after Stop: %+v", us)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (UEStats, RelayStats, int) {
+		r := newRig(t, 99)
+		relay, _ := r.addRelay(t, "relay", geo.Static{}, RelayConfig{Profile: std(), Capacity: 4})
+		ue, _ := r.addUE(t, "ue", geo.Static{P: geo.Point{X: 3}}, UEConfig{
+			Profile: std(), StartOffset: 7 * time.Second,
+		})
+		if err := r.sched.RunUntil(std().Period * 6); err != nil {
+			t.Fatalf("RunUntil: %v", err)
+		}
+		return ue.Stats(), relay.Stats(), r.bs.TotalL3Messages()
+	}
+	u1, r1, l1 := run()
+	u2, r2, l2 := run()
+	if u1 != u2 || r1 != r2 || l1 != l2 {
+		t.Fatalf("runs diverged:\n%+v vs %+v\n%+v vs %+v\nL3 %d vs %d", u1, u2, r1, r2, l1, l2)
+	}
+}
+
+func TestSignalingSavingVsOriginal(t *testing.T) {
+	// Fig. 15 / headline claim: with one UE connected to the relay, the
+	// pair generates > 50 % less signaling than the original system where
+	// relay and UE each transmit every heartbeat themselves.
+	period := std().Period
+	horizon := period * 10
+
+	runScheme := func() int {
+		r := newRig(t, 21)
+		r.addRelay(t, "relay", geo.Static{}, RelayConfig{Profile: std(), Capacity: 8})
+		r.addUE(t, "ue", geo.Static{P: geo.Point{X: 1}}, UEConfig{Profile: std(), StartOffset: 10 * time.Second})
+		if err := r.sched.RunUntil(horizon); err != nil {
+			t.Fatalf("RunUntil: %v", err)
+		}
+		return r.bs.TotalL3Messages()
+	}
+	runOriginal := func() int {
+		r := newRig(t, 21)
+		// In the original system the "relay" is just another UE sending
+		// its own heartbeats directly.
+		r.addUE(t, "relay", geo.Static{}, UEConfig{Profile: std(), DisableD2D: true})
+		r.addUE(t, "ue", geo.Static{P: geo.Point{X: 1}}, UEConfig{Profile: std(), StartOffset: 10 * time.Second, DisableD2D: true})
+		if err := r.sched.RunUntil(horizon); err != nil {
+			t.Fatalf("RunUntil: %v", err)
+		}
+		return r.bs.TotalL3Messages()
+	}
+	scheme, original := runScheme(), runOriginal()
+	if scheme == 0 || original == 0 {
+		t.Fatalf("no signaling recorded: scheme=%d original=%d", scheme, original)
+	}
+	saving := 1 - float64(scheme)/float64(original)
+	if saving < 0.45 {
+		t.Fatalf("signaling saving = %.1f%% (scheme %d vs original %d), want >= 45%%",
+			saving*100, scheme, original)
+	}
+}
+
+func TestCustomFeedbackTimeoutFiresEarly(t *testing.T) {
+	// A short explicit feedback timeout triggers the fallback even though
+	// the relay would have delivered at the period end.
+	r := newRig(t, 17)
+	r.addRelay(t, "relay", geo.Static{}, RelayConfig{Profile: std(), Capacity: 8})
+	ue, _ := r.addUE(t, "ue", geo.Static{P: geo.Point{X: 1}}, UEConfig{
+		Profile:         std(),
+		StartOffset:     10 * time.Second,
+		FeedbackTimeout: 30 * time.Second, // relay flushes at 270 s
+	})
+	if err := r.sched.RunUntil(100 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	us := ue.Stats()
+	if us.FallbackResends != 1 {
+		t.Fatalf("fallbacks = %d, want 1 (timeout before flush)", us.FallbackResends)
+	}
+	// The fallback delivery is on time (sent at 40 s, deadline 280 s).
+	total, late := r.bs.Deliveries()
+	if total != 1 || late != 0 {
+		t.Fatalf("deliveries = %d (%d late), want 1 on-time fallback", total, late)
+	}
+}
+
+func TestScanBackoffReducesDiscoveryEnergy(t *testing.T) {
+	// A UE with no relay in range scans with exponential backoff instead
+	// of burning discovery energy every heartbeat.
+	r := newRig(t, 19)
+	ue, led := r.addUE(t, "ue", geo.Static{P: geo.Point{X: 500}}, UEConfig{
+		Profile: std(), StartOffset: 5 * time.Second,
+	})
+	if err := r.sched.RunUntil(16 * std().Period); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	us := ue.Stats()
+	if us.Generated < 15 {
+		t.Fatalf("generated = %d, want >= 15", us.Generated)
+	}
+	// Backoff 1,2,4,8,8...: scans ≪ heartbeats.
+	if us.Scans >= us.Generated/2 {
+		t.Fatalf("scans = %d of %d heartbeats, backoff not engaging", us.Scans, us.Generated)
+	}
+	if us.Scans+us.ScansSkipped != us.Generated {
+		t.Fatalf("scans %d + skipped %d != generated %d", us.Scans, us.ScansSkipped, us.Generated)
+	}
+	wantDiscovery := energy.MicroAmpHours(float64(us.Scans)) * energy.DefaultModel().UEDiscovery
+	if got := led.Phase(energy.PhaseDiscovery); got != wantDiscovery {
+		t.Fatalf("discovery energy = %v, want %v", got, wantDiscovery)
+	}
+}
+
+func TestBusyRelayHandover(t *testing.T) {
+	// With two capacity-1 relays in range, a UE whose relay just closed
+	// its window hands over to the other instead of burning a cellular
+	// connection.
+	r := newRig(t, 21)
+	relayA, _ := r.addRelay(t, "relay-a", geo.Static{}, RelayConfig{Profile: std(), Capacity: 1})
+	relayB, _ := r.addRelay(t, "relay-b", geo.Static{P: geo.Point{X: 3}}, RelayConfig{Profile: std(), Capacity: 1})
+	fast := std()
+	fast.Period = 100 * time.Second
+	ue, _ := r.addUE(t, "ue", geo.Static{P: geo.Point{X: 1}}, UEConfig{
+		Profile: fast, StartOffset: 5 * time.Second,
+	})
+	if err := r.sched.RunUntil(260 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	us := ue.Stats()
+	// hb1 → relay-a (capacity flush, window closed); hb2 at 105 s hands
+	// over to relay-b; hb3 at 205 s finds both closed and goes direct.
+	if us.SentViaD2D != 2 {
+		t.Fatalf("sent via D2D = %d, want 2 (handover)", us.SentViaD2D)
+	}
+	if us.Matches != 2 {
+		t.Fatalf("matches = %d, want 2", us.Matches)
+	}
+	if us.DirectCellular != 1 {
+		t.Fatalf("direct = %d, want 1", us.DirectCellular)
+	}
+	if relayA.Stats().Collected != 1 || relayB.Stats().Collected != 1 {
+		t.Fatalf("collections = %d/%d, want 1/1",
+			relayA.Stats().Collected, relayB.Stats().Collected)
+	}
+	// Feedback still reached the UE for both forwards.
+	if us.AcksReceived != 2 {
+		t.Fatalf("acks = %d, want 2", us.AcksReceived)
+	}
+	if us.FallbackResends != 0 {
+		t.Fatalf("fallbacks = %d, want 0", us.FallbackResends)
+	}
+}
+
+func TestProactiveReleaseBeyondPrejudgmentDistance(t *testing.T) {
+	// The UE walks out to 20 m (inside radio range, beyond the 15 m
+	// prejudgment bound): the link is released proactively and heartbeats
+	// go direct, with no lossy-zone send attempts.
+	r := newRig(t, 23)
+	r.addRelay(t, "relay", geo.Static{}, RelayConfig{Profile: std(), Capacity: 8})
+	led := energy.NewLedger()
+	mob := geo.Line{From: geo.Point{X: 1}, To: geo.Point{X: 20}, Speed: 0.2, Start: 30 * time.Second}
+	node, err := r.medium.Join("ue", d2d.RoleUE, mob, led)
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	modem, err := r.bs.Attach("ue", r.model, rrc.DefaultConfig(), led)
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	ue, err := NewUE(r.sched, node, modem, UEConfig{
+		ID: "ue", Profile: std(), Match: matching.DefaultConfig(), StartOffset: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("NewUE: %v", err)
+	}
+	if err := ue.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Walk reaches 20 m at t = 30 + 19/0.2 = 125 s; heartbeats at 10, 280,
+	// 550, ... — from the second heartbeat on the UE is beyond 15 m.
+	if err := r.sched.RunUntil(6 * std().Period); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	us := ue.Stats()
+	if us.SentViaD2D != 1 {
+		t.Fatalf("sent via D2D = %d, want 1 (only the first)", us.SentViaD2D)
+	}
+	if us.D2DSendFailures != 0 {
+		t.Fatalf("lossy-zone send failures = %d, want 0 (proactive release)", us.D2DSendFailures)
+	}
+	if us.DirectCellular == 0 {
+		t.Fatal("no direct sends after release")
+	}
+	if ue.Connected() {
+		t.Fatal("link still open beyond prejudgment distance")
+	}
+}
+
+func TestLossyLinkFailuresFallBackCleanly(t *testing.T) {
+	// At 30 m the Wi-Fi Direct link drops ~15 % of transfers. A failed
+	// D2D send must cancel its feedback timer (no ghost fallback) and go
+	// out directly instead — conservation holds throughout.
+	r := newRig(t, 29)
+	r.addRelay(t, "relay", geo.Static{}, RelayConfig{Profile: std(), Capacity: 64})
+	fast := std()
+	fast.Period = 30 * time.Second
+	match := matching.DefaultConfig()
+	match.MaxDistance = 40 // loss zone allowed for this test
+	ue, _ := r.addUE(t, "ue", geo.Static{P: geo.Point{X: 30}}, UEConfig{
+		Profile: fast, StartOffset: 5 * time.Second, Match: match,
+	})
+	if err := r.sched.RunUntil(40 * fast.Period); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	us := ue.Stats()
+	if got := ue.ID(); got != "ue" {
+		t.Fatalf("ID = %q", got)
+	}
+	if us.D2DSendFailures == 0 {
+		t.Fatalf("no transfer losses at 30 m: %+v", us)
+	}
+	// Every heartbeat left the device exactly once.
+	if us.Generated != us.SentViaD2D+us.DirectCellular {
+		t.Fatalf("conservation broken: %+v", us)
+	}
+	// Failed sends must not leave armed feedback timers: the only
+	// fallbacks allowed are for successfully forwarded heartbeats whose
+	// feedback got lost on the lossy link.
+	if us.FallbackResends > us.SentViaD2D {
+		t.Fatalf("more fallbacks (%d) than forwards (%d)", us.FallbackResends, us.SentViaD2D)
+	}
+}

@@ -1,0 +1,101 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"d2dhb/internal/d2d"
+	"d2dhb/internal/energy"
+	"d2dhb/internal/geo"
+	"d2dhb/internal/hbmsg"
+	"d2dhb/internal/matching"
+	"d2dhb/internal/rrc"
+)
+
+func TestMultiAppUEForwardsAllApps(t *testing.T) {
+	// One device running WeChat + QQ: both apps' heartbeats flow through
+	// the same relay link and are individually acknowledged.
+	r := newRig(t, 31)
+	relay, _ := r.addRelay(t, "relay", geo.Static{}, RelayConfig{Profile: std(), Capacity: 8})
+	ue, _ := r.addUE(t, "ue", geo.Static{P: geo.Point{X: 1}}, UEConfig{
+		Profile:       hbmsg.WeChat(),
+		ExtraProfiles: []hbmsg.AppProfile{hbmsg.QQ()},
+		StartOffset:   10 * time.Second,
+	})
+	// 900 s: WeChat (270 s) beats at 10, 280, 550, 820; QQ (300 s) at 13,
+	// 313, 613.
+	if err := r.sched.RunUntil(900 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	us := ue.Stats()
+	if us.Generated != 7 {
+		t.Fatalf("generated = %d, want 7 (4 WeChat + 3 QQ)", us.Generated)
+	}
+	if us.SentViaD2D != us.Generated {
+		t.Fatalf("forwarded %d of %d", us.SentViaD2D, us.Generated)
+	}
+	if us.DirectCellular != 0 || us.FallbackResends != 0 {
+		t.Fatalf("cellular leakage: %+v", us)
+	}
+	// One D2D connection serves both apps.
+	if us.Matches != 1 {
+		t.Fatalf("matches = %d, want 1 (shared link)", us.Matches)
+	}
+	rs := relay.Stats()
+	if rs.Collected != us.SentViaD2D {
+		t.Fatalf("relay collected %d, want %d", rs.Collected, us.SentViaD2D)
+	}
+}
+
+func TestMultiAppUEDistinctExpiries(t *testing.T) {
+	// A tight-expiry app must pull the relay's flush forward while the
+	// relaxed app waits: per-message T_k handling across apps.
+	r := newRig(t, 33)
+	relay, _ := r.addRelay(t, "relay", geo.Static{}, RelayConfig{Profile: std(), Capacity: 8})
+	tight := std()
+	tight.Name = "tight"
+	tight.ExpiryFactor = 0.1 // 27 s
+	ue, _ := r.addUE(t, "ue", geo.Static{P: geo.Point{X: 1}}, UEConfig{
+		Profile:       std(),
+		ExtraProfiles: []hbmsg.AppProfile{tight},
+		StartOffset:   5 * time.Second,
+	})
+	if err := r.sched.RunUntil(100 * time.Second); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	// The tight heartbeat (origin 8 s, deadline 35 s) forces a flush well
+	// before the relay's 270 s period end; both messages ride it.
+	rs := relay.Stats()
+	if rs.Flushes != 1 {
+		t.Fatalf("flushes = %d, want 1", rs.Flushes)
+	}
+	total, late := r.bs.Deliveries()
+	if late != 0 {
+		t.Fatalf("late deliveries = %d, want 0", late)
+	}
+	if total != 3 { // relay own + 2 forwarded
+		t.Fatalf("deliveries = %d, want 3", total)
+	}
+	if got := ue.Stats().AcksReceived; got != 2 {
+		t.Fatalf("acks = %d, want 2", got)
+	}
+}
+
+func TestMultiAppValidation(t *testing.T) {
+	r := newRig(t, 35)
+	node, err := r.medium.Join("x", d2d.RoleUE, geo.Static{}, energy.NewLedger())
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	modem, err := r.bs.Attach("x", r.model, rrc.DefaultConfig(), energy.NewLedger())
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	bad := UEConfig{
+		ID: "x", Profile: std(), Match: matching.DefaultConfig(),
+		ExtraProfiles: []hbmsg.AppProfile{{Name: "broken"}},
+	}
+	if _, err := NewUE(r.sched, node, modem, bad); err == nil {
+		t.Fatal("invalid extra profile accepted")
+	}
+}

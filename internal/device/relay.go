@@ -1,0 +1,332 @@
+// Package device implements the two framework roles running on a
+// smartphone: the Relay, which collects heartbeats from connected UEs and
+// transmits them aggregated under the message scheduling algorithm, and the
+// UE, which forwards its heartbeats over D2D with relay matching, feedback
+// tracking and cellular fallback.
+package device
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"d2dhb/internal/cellular"
+	"d2dhb/internal/d2d"
+	"d2dhb/internal/energy"
+	"d2dhb/internal/hbmsg"
+	"d2dhb/internal/sched"
+	"d2dhb/internal/simtime"
+	"d2dhb/internal/trace"
+)
+
+// RelayStats aggregates a relay's observable behaviour.
+type RelayStats struct {
+	// OwnHeartbeats counts the relay's own generated heartbeats.
+	OwnHeartbeats int
+	// Collected counts forwarded heartbeats accepted into a batch.
+	Collected int
+	// RejectedClosed counts heartbeats refused because the collection
+	// window had closed for the period.
+	RejectedClosed int
+	// RejectedExpired counts heartbeats refused because they were already
+	// past their deadline on arrival.
+	RejectedExpired int
+	// Flushes counts aggregated cellular transmissions.
+	Flushes int
+	// FlushesByCapacity / FlushesByDeadline / FlushesByPeriodEnd break
+	// Flushes down by Algorithm 1's trigger (only populated when the
+	// policy is the Nagle scheduler).
+	FlushesByCapacity  int
+	FlushesByDeadline  int
+	FlushesByPeriodEnd int
+	// ForwardedSent counts forwarded (non-own) heartbeats actually
+	// transmitted to the base station.
+	ForwardedSent int
+	// AcksSent counts feedback acknowledgements delivered to UEs.
+	AcksSent int
+	// AckFailures counts feedback sends that failed (range/loss).
+	AckFailures int
+	// Credits is the incentive balance: one credit per forwarded heartbeat
+	// delivered, mirroring the Karma-Go-style micro-payment scheme
+	// (Section III-A).
+	Credits int
+	// SendErrors counts cellular transmissions that failed outright.
+	SendErrors int
+}
+
+// RelayConfig parameterizes a relay device.
+type RelayConfig struct {
+	// ID is the device id.
+	ID hbmsg.DeviceID
+	// Profile drives the relay's own heartbeat traffic; its period is the
+	// scheduling window T.
+	Profile hbmsg.AppProfile
+	// Capacity is M, the maximum number of collected heartbeats per
+	// period.
+	Capacity int
+	// Policy is the scheduling policy. Nil selects Algorithm 1 (Nagle)
+	// with Capacity and the profile period.
+	Policy sched.Policy
+	// StartOffset delays the first period start.
+	StartOffset time.Duration
+	// Tracer receives structured events when non-nil.
+	Tracer trace.Tracer
+}
+
+func (c RelayConfig) validate() error {
+	if c.ID == "" {
+		return errors.New("device: empty relay id")
+	}
+	if err := c.Profile.Validate(); err != nil {
+		return err
+	}
+	if c.Capacity <= 0 {
+		return fmt.Errorf("device: relay capacity must be positive, got %d", c.Capacity)
+	}
+	if c.StartOffset < 0 {
+		return fmt.Errorf("device: negative start offset %v", c.StartOffset)
+	}
+	return nil
+}
+
+// ackKey identifies a collected heartbeat for feedback routing.
+type ackKey struct {
+	src hbmsg.DeviceID
+	seq uint64
+}
+
+// Relay is a smartphone volunteering as a heartbeat collector.
+type Relay struct {
+	cfg    RelayConfig
+	sched  *simtime.Scheduler
+	node   *d2d.Node
+	modem  *cellular.Modem
+	policy sched.Policy
+
+	seq         uint64
+	ownHB       hbmsg.Heartbeat
+	sources     map[ackKey]*d2d.Link
+	flushTimer  *simtime.Timer
+	periodTimer *simtime.Timer
+	stopped     bool
+
+	stats RelayStats
+}
+
+// NewRelay assembles a relay from its D2D node and cellular modem. Start
+// must be called to begin operating.
+func NewRelay(s *simtime.Scheduler, node *d2d.Node, modem *cellular.Modem, cfg RelayConfig) (*Relay, error) {
+	if s == nil || node == nil || modem == nil {
+		return nil, errors.New("device: nil scheduler, node or modem")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		var err error
+		policy, err = sched.NewNagle(cfg.Capacity, cfg.Profile.Period)
+		if err != nil {
+			return nil, err
+		}
+	}
+	r := &Relay{
+		cfg:     cfg,
+		sched:   s,
+		node:    node,
+		modem:   modem,
+		policy:  policy,
+		sources: make(map[ackKey]*d2d.Link),
+	}
+	node.OnReceive(r.onReceive)
+	return r, nil
+}
+
+// ID returns the device id.
+func (r *Relay) ID() hbmsg.DeviceID { return r.cfg.ID }
+
+// Stats returns a snapshot of the relay's counters.
+func (r *Relay) Stats() RelayStats { return r.stats }
+
+// Policy exposes the active scheduling policy.
+func (r *Relay) Policy() sched.Policy { return r.policy }
+
+// Start schedules the first heartbeat period.
+func (r *Relay) Start() error {
+	t, err := r.sched.After(r.cfg.StartOffset, r.startPeriod)
+	if err != nil {
+		return fmt.Errorf("device: start relay %s: %w", r.cfg.ID, err)
+	}
+	r.periodTimer = t
+	return nil
+}
+
+// Stop halts the relay immediately: pending collected heartbeats are lost
+// and no feedback is sent — the failure the UE-side fallback guards against
+// ("the relay has run out of its battery or lost connection", Section
+// III-A).
+func (r *Relay) Stop() {
+	r.stopped = true
+	r.emit(trace.Event{Kind: trace.KindStop})
+	r.sched.Stop(r.flushTimer)
+	r.sched.Stop(r.periodTimer)
+	r.node.SetAccepting(false)
+	for _, l := range r.node.Links() {
+		l.Close()
+	}
+}
+
+// startPeriod opens a new collection window, generates the relay's own
+// heartbeat (to be delayed and sent with the batch), and arms the flush
+// timer at the scheduling deadline.
+func (r *Relay) startPeriod() {
+	if r.stopped {
+		return
+	}
+	// Drain the previous window first: when the period timer and the flush
+	// timer land on the same instant, the period timer fires first and
+	// must not discard the pending batch.
+	r.flush()
+	now := r.sched.Now()
+	r.seq++
+	r.ownHB = r.cfg.Profile.Heartbeat(r.cfg.ID, r.seq, now)
+	r.stats.OwnHeartbeats++
+	r.policy.StartPeriod(now)
+	r.advertise()
+
+	var err error
+	r.periodTimer, err = r.sched.After(r.cfg.Profile.Period, r.startPeriod)
+	if err != nil {
+		r.stats.SendErrors++
+	}
+	r.rearmFlush()
+}
+
+// advertise publishes the relay's remaining capacity and group-owner
+// intent, which decays proportionally with load (Section IV-C).
+func (r *Relay) advertise() {
+	free := 0
+	if r.policy.Accepting() {
+		free = r.cfg.Capacity - r.policy.Pending()
+	}
+	r.node.SetAccepting(!r.stopped)
+	r.node.Advertise(free, d2d.IntentForLoad(r.cfg.Capacity-free, r.cfg.Capacity))
+}
+
+// onReceive handles one forwarded heartbeat from a UE.
+func (r *Relay) onReceive(hb hbmsg.Heartbeat, link *d2d.Link) {
+	if r.stopped {
+		return
+	}
+	now := r.sched.Now()
+	flushNow, err := r.policy.Collect(hb, now)
+	switch {
+	case errors.Is(err, sched.ErrClosed):
+		r.stats.RejectedClosed++
+		r.emit(trace.Event{Kind: trace.KindReject, App: hb.App, Seq: hb.Seq,
+			Peer: string(hb.Src), Reason: "closed"})
+		return
+	case errors.Is(err, sched.ErrExpired):
+		r.stats.RejectedExpired++
+		r.emit(trace.Event{Kind: trace.KindReject, App: hb.App, Seq: hb.Seq,
+			Peer: string(hb.Src), Reason: "expired"})
+		return
+	case err != nil:
+		r.stats.SendErrors++
+		return
+	}
+	r.stats.Collected++
+	r.emit(trace.Event{Kind: trace.KindCollect, App: hb.App, Seq: hb.Seq, Peer: string(hb.Src)})
+	r.sources[ackKey{src: hb.Src, seq: hb.Seq}] = link
+	r.advertise()
+	if flushNow {
+		r.flush()
+		return
+	}
+	r.rearmFlush()
+}
+
+// rearmFlush (re)schedules the flush at the policy's current deadline.
+func (r *Relay) rearmFlush() {
+	r.sched.Stop(r.flushTimer)
+	at, ok := r.policy.Deadline()
+	if !ok {
+		return
+	}
+	t, err := r.sched.At(at, r.flush)
+	if err != nil {
+		// Deadline already passed (clock raced the arm): flush now.
+		r.flush()
+		return
+	}
+	r.flushTimer = t
+}
+
+// flush transmits the batch — collected heartbeats plus the relay's own —
+// in a single cellular connection, then acknowledges each UE.
+func (r *Relay) flush() {
+	if r.stopped {
+		return
+	}
+	r.sched.Stop(r.flushTimer)
+	now := r.sched.Now()
+	batch := r.policy.Flush(now)
+	full := make([]hbmsg.Heartbeat, 0, len(batch)+1)
+	full = append(full, batch...)
+	if r.ownHB.Src != "" {
+		full = append(full, r.ownHB)
+		r.ownHB = hbmsg.Heartbeat{}
+	}
+	if len(full) == 0 {
+		return
+	}
+	if err := r.modem.Send(full, energy.PhaseCellular); err != nil {
+		r.stats.SendErrors++
+		return
+	}
+	r.stats.Flushes++
+	reason := ""
+	if nagle, ok := r.policy.(*sched.Nagle); ok {
+		reason = nagle.LastFlushReason().String()
+	}
+	r.emit(trace.Event{Kind: trace.KindFlush, N: len(full), Reason: reason})
+	if nagle, ok := r.policy.(*sched.Nagle); ok {
+		switch nagle.LastFlushReason() {
+		case sched.ReasonCapacity:
+			r.stats.FlushesByCapacity++
+		case sched.ReasonDeadline:
+			r.stats.FlushesByDeadline++
+		default:
+			r.stats.FlushesByPeriodEnd++
+		}
+	}
+	r.stats.ForwardedSent += len(batch)
+	r.stats.Credits += len(batch)
+	r.ackBatch(batch)
+	r.advertise()
+}
+
+// emit stamps and forwards one trace event.
+func (r *Relay) emit(ev trace.Event) {
+	ev.AtMs = trace.At(r.sched.Now())
+	ev.Device = string(r.cfg.ID)
+	trace.Emit(r.cfg.Tracer, ev)
+}
+
+// ackBatch notifies each UE whose heartbeats were delivered. Acks are sent
+// in batch order so the simulation's random stream stays deterministic.
+func (r *Relay) ackBatch(batch []hbmsg.Heartbeat) {
+	for _, hb := range batch {
+		key := ackKey{src: hb.Src, seq: hb.Seq}
+		link, ok := r.sources[key]
+		delete(r.sources, key)
+		if !ok || link == nil {
+			continue
+		}
+		if err := link.SendAck(r.node, []d2d.AckRef{{Src: hb.Src, Seq: hb.Seq}}); err != nil {
+			r.stats.AckFailures++
+			continue
+		}
+		r.stats.AcksSent++
+	}
+}

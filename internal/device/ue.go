@@ -1,0 +1,409 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"d2dhb/internal/cellular"
+	"d2dhb/internal/d2d"
+	"d2dhb/internal/energy"
+	"d2dhb/internal/hbmsg"
+	"d2dhb/internal/matching"
+	"d2dhb/internal/simtime"
+	"d2dhb/internal/trace"
+)
+
+// UEStats aggregates a UE's observable behaviour.
+type UEStats struct {
+	// Generated counts heartbeats produced by the app.
+	Generated int
+	// SentViaD2D counts heartbeats successfully handed to a relay.
+	SentViaD2D int
+	// D2DSendFailures counts forwarding attempts that failed at the link.
+	D2DSendFailures int
+	// DirectCellular counts heartbeats sent straight over cellular because
+	// no relay was matched (or the link had just failed).
+	DirectCellular int
+	// RelayBusy counts heartbeats sent directly because the connected
+	// relay advertised a closed or full collection window — forwarding
+	// would only be rejected and expire waiting for the next period.
+	RelayBusy int
+	// FallbackResends counts duplicate cellular sends after a feedback
+	// timeout.
+	FallbackResends int
+	// AcksReceived counts feedback acknowledgements.
+	AcksReceived int
+	// Scans counts D2D discovery operations.
+	Scans int
+	// ScansSkipped counts heartbeats where discovery was suppressed by
+	// the failure backoff.
+	ScansSkipped int
+	// Matches counts successful relay matches (connections established).
+	Matches int
+	// MatchFailures counts scans that yielded no usable relay.
+	MatchFailures int
+	// SendErrors counts cellular sends that failed outright.
+	SendErrors int
+}
+
+// UEConfig parameterizes a UE device.
+type UEConfig struct {
+	// ID is the device id.
+	ID hbmsg.DeviceID
+	// Profile drives the UE's heartbeat traffic.
+	Profile hbmsg.AppProfile
+	// ExtraProfiles are additional apps running on the same device, each
+	// with its own heartbeat loop (real phones run several IM apps at
+	// once, the situation Table I describes). All apps share the device's
+	// relay link, feedback tracking and fallback path.
+	ExtraProfiles []hbmsg.AppProfile
+	// Match configures relay selection.
+	Match matching.Config
+	// FeedbackTimeout is how long the UE waits for a relay
+	// acknowledgement before resending over cellular. Zero selects the
+	// default: the message expiry plus a small grace period, since the
+	// relay may legitimately delay the batch until just before the
+	// earliest deadline.
+	FeedbackTimeout time.Duration
+	// StartOffset delays the first heartbeat; staggering offsets across
+	// UEs mimics unsynchronized apps.
+	StartOffset time.Duration
+	// DisableD2D forces the original-system behaviour (every heartbeat
+	// direct over cellular); used for baselines.
+	DisableD2D bool
+	// Tracer receives structured events when non-nil.
+	Tracer trace.Tracer
+}
+
+// FeedbackGrace is added to the message expiry for the default feedback
+// timeout.
+const FeedbackGrace = 5 * time.Second
+
+func (c UEConfig) validate() error {
+	if c.ID == "" {
+		return errors.New("device: empty ue id")
+	}
+	if err := c.Profile.Validate(); err != nil {
+		return err
+	}
+	for _, p := range c.ExtraProfiles {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := c.Match.Validate(); err != nil {
+		return err
+	}
+	if c.FeedbackTimeout < 0 {
+		return fmt.Errorf("device: negative feedback timeout %v", c.FeedbackTimeout)
+	}
+	if c.StartOffset < 0 {
+		return fmt.Errorf("device: negative start offset %v", c.StartOffset)
+	}
+	return nil
+}
+
+// UE is a smartphone forwarding its heartbeats through nearby relays.
+type UE struct {
+	cfg   UEConfig
+	sched *simtime.Scheduler
+	node  *d2d.Node
+	modem *cellular.Modem
+
+	seq      uint64
+	link     *d2d.Link
+	pending  map[uint64]*pendingSend
+	hbTimers []*simtime.Timer
+	stopped  bool
+
+	// Scan backoff: discovery is itself expensive (Table III) for the UE
+	// and for every responding relay, so after a failed match the UE
+	// skips scanning for a geometrically growing number of heartbeats.
+	backoff   int
+	scanSkips int
+
+	stats UEStats
+}
+
+// maxScanBackoff caps the discovery backoff at 8 heartbeat periods.
+const maxScanBackoff = 8
+
+// pendingSend tracks a forwarded heartbeat awaiting feedback.
+type pendingSend struct {
+	hb    hbmsg.Heartbeat
+	timer *simtime.Timer
+}
+
+// NewUE assembles a UE from its D2D node and cellular modem. Start must be
+// called to begin the heartbeat loop.
+func NewUE(s *simtime.Scheduler, node *d2d.Node, modem *cellular.Modem, cfg UEConfig) (*UE, error) {
+	if s == nil || node == nil || modem == nil {
+		return nil, errors.New("device: nil scheduler, node or modem")
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	u := &UE{
+		cfg:     cfg,
+		sched:   s,
+		node:    node,
+		modem:   modem,
+		pending: make(map[uint64]*pendingSend),
+	}
+	node.OnAck(u.onAck)
+	return u, nil
+}
+
+// ID returns the device id.
+func (u *UE) ID() hbmsg.DeviceID { return u.cfg.ID }
+
+// Stats returns a snapshot of the UE's counters.
+func (u *UE) Stats() UEStats { return u.stats }
+
+// Connected reports whether the UE currently holds an open relay link.
+func (u *UE) Connected() bool { return u.link != nil && u.link.Open() }
+
+// Start schedules the first heartbeat of every app profile. Extra profiles
+// are staggered a few seconds after the primary so their first heartbeats
+// do not collide.
+func (u *UE) Start() error {
+	profiles := append([]hbmsg.AppProfile{u.cfg.Profile}, u.cfg.ExtraProfiles...)
+	u.hbTimers = make([]*simtime.Timer, len(profiles))
+	for i, p := range profiles {
+		i, p := i, p
+		offset := u.cfg.StartOffset + time.Duration(i)*3*time.Second
+		t, err := u.sched.After(offset, func() { u.heartbeat(i, p) })
+		if err != nil {
+			return fmt.Errorf("device: start ue %s: %w", u.cfg.ID, err)
+		}
+		u.hbTimers[i] = t
+	}
+	return nil
+}
+
+// Stop halts the heartbeat loops and cancels pending feedback timers.
+func (u *UE) Stop() {
+	u.stopped = true
+	for _, t := range u.hbTimers {
+		u.sched.Stop(t)
+	}
+	for _, p := range u.pending {
+		u.sched.Stop(p.timer)
+	}
+	if u.link != nil {
+		u.link.Close()
+		u.link = nil
+	}
+}
+
+// feedbackTimeout returns the configured or default ack wait for a
+// heartbeat with the given expiry.
+func (u *UE) feedbackTimeout(expiry time.Duration) time.Duration {
+	if u.cfg.FeedbackTimeout > 0 {
+		return u.cfg.FeedbackTimeout
+	}
+	return expiry + FeedbackGrace
+}
+
+// heartbeat generates and dispatches one heartbeat for profile slot i,
+// then schedules the next.
+func (u *UE) heartbeat(i int, profile hbmsg.AppProfile) {
+	if u.stopped {
+		return
+	}
+	now := u.sched.Now()
+	u.seq++
+	hb := profile.Heartbeat(u.cfg.ID, u.seq, now)
+	u.stats.Generated++
+	u.emit(trace.Event{Kind: trace.KindGenerated, App: hb.App, Seq: hb.Seq})
+
+	var err error
+	u.hbTimers[i], err = u.sched.After(profile.Period, func() { u.heartbeat(i, profile) })
+	if err != nil {
+		u.stats.SendErrors++
+	}
+
+	if u.cfg.DisableD2D {
+		u.sendDirect(hb)
+		return
+	}
+	// Proactive release: once mobility has carried the UE well beyond the
+	// prejudgment distance, the link is deep in the loss zone and every
+	// further transfer risks failure — the same reasoning that rejects far
+	// relays at match time (Section III-C) applies to keeping them. The
+	// 25 % hysteresis margin keeps boundary cases (matched on a noisy
+	// RSSI estimate just inside the bound) from flapping.
+	if u.Connected() && u.cfg.Match.Prejudgment &&
+		u.link.Distance() > u.cfg.Match.MaxDistance*1.25 {
+		u.link.Close()
+		u.link = nil
+	}
+	if !u.Connected() {
+		if u.scanSkips > 0 {
+			u.scanSkips--
+			u.stats.ScansSkipped++
+		} else {
+			u.tryMatch()
+		}
+	}
+	if !u.Connected() {
+		u.sendDirect(hb)
+		return
+	}
+	// The group owner's beacons advertise its remaining collection
+	// capacity; a closed or full window means the forward would be
+	// rejected and the heartbeat would expire waiting for feedback.
+	if free, _ := u.link.Peer(u.node).Advertised(); free <= 0 {
+		u.stats.RelayBusy++
+		u.emit(trace.Event{Kind: trace.KindRelayBusy, App: hb.App, Seq: hb.Seq,
+			Peer: string(u.link.Peer(u.node).ID())})
+		// Hand over to another relay if the scan budget allows — Select
+		// skips zero-capacity relays, so a successful match is a fresh
+		// collector. The old link stays open so feedback for messages it
+		// already collected still arrives.
+		switched := false
+		if u.scanSkips == 0 {
+			prev := u.link
+			u.tryMatch()
+			if u.Connected() && u.link != prev {
+				if free, _ := u.link.Peer(u.node).Advertised(); free > 0 {
+					switched = true
+				}
+			}
+		}
+		if !switched {
+			u.sendDirect(hb)
+			return
+		}
+	}
+	// Arm the feedback timer before transmitting: when this very send
+	// fills the batch, the relay flushes and acknowledges synchronously,
+	// and the ack must find the pending entry.
+	u.armFeedback(hb)
+	if err := u.link.Send(u.node, hb); err != nil {
+		u.cancelFeedback(hb.Seq)
+		u.stats.D2DSendFailures++
+		u.emit(trace.Event{Kind: trace.KindD2DFail, App: hb.App, Seq: hb.Seq, Reason: err.Error()})
+		if errors.Is(err, d2d.ErrOutOfRange) || errors.Is(err, d2d.ErrLinkClosed) {
+			u.link = nil
+		}
+		u.sendDirect(hb)
+		return
+	}
+	u.stats.SentViaD2D++
+	u.emit(trace.Event{Kind: trace.KindD2DSend, App: hb.App, Seq: hb.Seq})
+}
+
+// emit stamps and forwards one trace event.
+func (u *UE) emit(ev trace.Event) {
+	ev.AtMs = trace.At(u.sched.Now())
+	ev.Device = string(u.cfg.ID)
+	trace.Emit(u.cfg.Tracer, ev)
+}
+
+// tryMatch scans for relays and connects to the best candidate, doubling
+// the scan backoff on failure.
+func (u *UE) tryMatch() {
+	u.stats.Scans++
+	peers := u.node.Scan()
+	sel, ok := matching.Select(peers, u.cfg.Match)
+	if !ok {
+		u.matchFailed()
+		return
+	}
+	link, err := u.node.Connect(sel.ID)
+	if err != nil {
+		u.matchFailed()
+		return
+	}
+	u.stats.Matches++
+	u.link = link
+	u.backoff = 0
+	u.emit(trace.Event{Kind: trace.KindMatch, Peer: string(sel.ID)})
+}
+
+func (u *UE) matchFailed() {
+	u.stats.MatchFailures++
+	u.emit(trace.Event{Kind: trace.KindMatchFail})
+	u.backoff *= 2
+	if u.backoff == 0 {
+		u.backoff = 1
+	}
+	if u.backoff > maxScanBackoff {
+		u.backoff = maxScanBackoff
+	}
+	u.scanSkips = u.backoff
+}
+
+// sendDirect transmits a heartbeat straight over cellular (the original
+// system's path).
+func (u *UE) sendDirect(hb hbmsg.Heartbeat) {
+	if err := u.modem.Send([]hbmsg.Heartbeat{hb}, energy.PhaseCellular); err != nil {
+		u.stats.SendErrors++
+		return
+	}
+	u.stats.DirectCellular++
+	u.emit(trace.Event{Kind: trace.KindDirectSend, App: hb.App, Seq: hb.Seq})
+}
+
+// armFeedback starts the ack timer for a forwarded heartbeat.
+func (u *UE) armFeedback(hb hbmsg.Heartbeat) {
+	seq := hb.Seq
+	t, err := u.sched.After(u.feedbackTimeout(hb.Expiry), func() { u.onFeedbackTimeout(seq) })
+	if err != nil {
+		u.stats.SendErrors++
+		return
+	}
+	u.pending[seq] = &pendingSend{hb: hb, timer: t}
+}
+
+// cancelFeedback drops a pending entry after a failed send.
+func (u *UE) cancelFeedback(seq uint64) {
+	p, ok := u.pending[seq]
+	if !ok {
+		return
+	}
+	u.sched.Stop(p.timer)
+	delete(u.pending, seq)
+}
+
+// onFeedbackTimeout fires when a forwarded heartbeat was never
+// acknowledged: the UE "will send the heartbeat messages via cellular
+// network" itself (Section III-A), paying the duplicate-transmission
+// penalty the paper lists under negative impacts.
+func (u *UE) onFeedbackTimeout(seq uint64) {
+	p, ok := u.pending[seq]
+	if !ok || u.stopped {
+		return
+	}
+	delete(u.pending, seq)
+	u.stats.FallbackResends++
+	u.emit(trace.Event{Kind: trace.KindFallback, App: p.hb.App, Seq: seq})
+	if err := u.modem.Send([]hbmsg.Heartbeat{p.hb}, energy.PhaseFallback); err != nil {
+		u.stats.SendErrors++
+	}
+	// The relay evidently failed us; drop the link so the next heartbeat
+	// rematches.
+	if u.link != nil {
+		u.link.Close()
+		u.link = nil
+	}
+}
+
+// onAck handles feedback acknowledgements from the relay.
+func (u *UE) onAck(refs []d2d.AckRef, _ *d2d.Link) {
+	for _, ref := range refs {
+		if ref.Src != u.cfg.ID {
+			continue
+		}
+		p, ok := u.pending[ref.Seq]
+		if !ok {
+			continue
+		}
+		u.sched.Stop(p.timer)
+		delete(u.pending, ref.Seq)
+		u.stats.AcksReceived++
+		u.emit(trace.Event{Kind: trace.KindAck, App: p.hb.App, Seq: ref.Seq})
+	}
+}

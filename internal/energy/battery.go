@@ -1,0 +1,34 @@
+package energy
+
+import "fmt"
+
+// Battery converts accumulated charge into battery-capacity fractions, the
+// unit of the paper's motivating claim that "a smartphone spends at least
+// 6% of its battery capacity in sending heartbeat messages even with only
+// one IM app running" (Section I).
+type Battery struct {
+	// CapacityMAh is the battery capacity in mAh.
+	CapacityMAh float64
+}
+
+// GalaxyS4Battery returns the battery of the evaluation device (Samsung
+// Galaxy S4: 2600 mAh).
+func GalaxyS4Battery() Battery {
+	return Battery{CapacityMAh: 2600}
+}
+
+// Validate reports whether the battery is usable.
+func (b Battery) Validate() error {
+	if b.CapacityMAh <= 0 {
+		return fmt.Errorf("energy: battery capacity must be positive, got %v", b.CapacityMAh)
+	}
+	return nil
+}
+
+// DrainFraction returns the fraction of the battery consumed by charge c.
+func (b Battery) DrainFraction(c MicroAmpHours) float64 {
+	if b.CapacityMAh <= 0 {
+		return 0
+	}
+	return float64(c) / 1000 / b.CapacityMAh
+}

@@ -1,0 +1,154 @@
+package energy
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Sample is one power-monitor reading: instant current at a virtual time
+// offset from the start of the capture window.
+type Sample struct {
+	At time.Duration
+	MA float64 // instant current in mA
+}
+
+// Trace is a sequence of current samples at a fixed sampling period,
+// mirroring a Monsoon Power Monitor capture (0.1 s granularity, 3.7 V).
+type Trace struct {
+	Samples []Sample
+	// BaselineMA is the idle platform draw underlying the capture.
+	BaselineMA float64
+}
+
+// transferStart is where the transfer event begins inside the capture
+// window, leaving some idle lead-in as in the paper's figures.
+const transferStart = 500 * time.Millisecond
+
+// D2DTransferTrace synthesizes the current trace of a single D2D (Wi-Fi
+// Direct) transfer: the current spurts at the moment of transmission, then
+// descends rapidly back to idle (Fig. 6).
+func (m Model) D2DTransferTrace() Trace {
+	return m.synthesize(m.D2DTraceWindow, func(t time.Duration) float64 {
+		peakEnd := transferStart + m.D2DPeakHold
+		decayEnd := peakEnd + m.D2DDecay
+		switch {
+		case t < transferStart:
+			return m.IdleCurrentMA
+		case t < peakEnd:
+			return m.D2DPeakMA
+		case t < decayEnd:
+			frac := float64(t-peakEnd) / float64(m.D2DDecay)
+			return m.D2DPeakMA - frac*(m.D2DPeakMA-m.IdleCurrentMA)
+		default:
+			return m.IdleCurrentMA
+		}
+	})
+}
+
+// CellularTransferTrace synthesizes the current trace of a single cellular
+// transfer: the current spurts and then lingers in a high-power RRC tail for
+// several seconds before release (Fig. 7).
+func (m Model) CellularTransferTrace() Trace {
+	return m.synthesize(m.CellularTraceWindow, func(t time.Duration) float64 {
+		activeEnd := transferStart + m.CellActiveHold
+		tailEnd := activeEnd + m.CellTailHold
+		decayEnd := tailEnd + m.CellDecay
+		switch {
+		case t < transferStart:
+			return m.IdleCurrentMA
+		case t < activeEnd:
+			return m.CellActiveMA
+		case t < tailEnd:
+			return m.CellTailMA
+		case t < decayEnd:
+			frac := float64(t-tailEnd) / float64(m.CellDecay)
+			return m.CellTailMA - frac*(m.CellTailMA-m.IdleCurrentMA)
+		default:
+			return m.IdleCurrentMA
+		}
+	})
+}
+
+// synthesize samples the current function at the model's sampling period.
+func (m Model) synthesize(window time.Duration, currentAt func(time.Duration) float64) Trace {
+	n := int(window/m.TraceSampleEvery) + 1
+	samples := make([]Sample, 0, n)
+	for t := time.Duration(0); t <= window; t += m.TraceSampleEvery {
+		samples = append(samples, Sample{At: t, MA: currentAt(t)})
+	}
+	return Trace{Samples: samples, BaselineMA: m.IdleCurrentMA}
+}
+
+// Duration returns the capture window length.
+func (tr Trace) Duration() time.Duration {
+	if len(tr.Samples) == 0 {
+		return 0
+	}
+	return tr.Samples[len(tr.Samples)-1].At
+}
+
+// PeakMA returns the maximum instant current in the trace.
+func (tr Trace) PeakMA() float64 {
+	peak := 0.0
+	for _, s := range tr.Samples {
+		if s.MA > peak {
+			peak = s.MA
+		}
+	}
+	return peak
+}
+
+// Integrate returns the total charge of the trace via trapezoidal
+// integration: µAh = ∫ i(t) dt with i in mA and t in hours, ×1000.
+func (tr Trace) Integrate() MicroAmpHours {
+	return tr.integrateAbove(0)
+}
+
+// IntegrateAboveBaseline returns the charge attributable to the transfer
+// itself, i.e. the integral of current above the idle baseline. This is the
+// quantity comparable to the per-phase constants of the Model.
+func (tr Trace) IntegrateAboveBaseline() MicroAmpHours {
+	return tr.integrateAbove(tr.BaselineMA)
+}
+
+func (tr Trace) integrateAbove(baseline float64) MicroAmpHours {
+	var total float64
+	for i := 1; i < len(tr.Samples); i++ {
+		a, b := tr.Samples[i-1], tr.Samples[i]
+		ia, ib := a.MA-baseline, b.MA-baseline
+		if ia < 0 {
+			ia = 0
+		}
+		if ib < 0 {
+			ib = 0
+		}
+		dtHours := (b.At - a.At).Hours()
+		total += (ia + ib) / 2 * dtHours
+	}
+	return MicroAmpHours(total * 1000)
+}
+
+// HighPowerTime returns how long the trace spends above the given current
+// threshold, a proxy for "network interface lingering in a high power
+// state" (Section I).
+func (tr Trace) HighPowerTime(thresholdMA float64) time.Duration {
+	var total time.Duration
+	for i := 1; i < len(tr.Samples); i++ {
+		if tr.Samples[i].MA > thresholdMA {
+			total += tr.Samples[i].At - tr.Samples[i-1].At
+		}
+	}
+	return total
+}
+
+// CSV renders the trace as "seconds,mA" rows with a header, matching the
+// format the experiment CLIs emit for plotting.
+func (tr Trace) CSV() string {
+	var b strings.Builder
+	b.WriteString("time_s,current_mA\n")
+	for _, s := range tr.Samples {
+		fmt.Fprintf(&b, "%.1f,%.1f\n", s.At.Seconds(), s.MA)
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestD2DTraceShape(t *testing.T) {
+	// Fig. 6: the instant current spurts at the moment of transmission and
+	// then descends rapidly.
+	m := DefaultModel()
+	tr := m.D2DTransferTrace()
+	if got := tr.Duration(); got != m.D2DTraceWindow {
+		t.Fatalf("window = %v, want %v", got, m.D2DTraceWindow)
+	}
+	if got := tr.PeakMA(); got != m.D2DPeakMA {
+		t.Fatalf("peak = %v, want %v", got, m.D2DPeakMA)
+	}
+	// The trace must return to idle well before the window ends.
+	last := tr.Samples[len(tr.Samples)-1]
+	if last.MA != m.IdleCurrentMA {
+		t.Fatalf("end current = %v, want idle %v", last.MA, m.IdleCurrentMA)
+	}
+	high := tr.HighPowerTime(300)
+	if high > time.Second {
+		t.Fatalf("D2D high-power time %v, want < 1s (fast descent)", high)
+	}
+}
+
+func TestCellularTraceShape(t *testing.T) {
+	// Fig. 7: the current spurts and lasts for a much longer period (tail).
+	m := DefaultModel()
+	tr := m.CellularTransferTrace()
+	if got := tr.Duration(); got != m.CellularTraceWindow {
+		t.Fatalf("window = %v, want %v", got, m.CellularTraceWindow)
+	}
+	high := tr.HighPowerTime(300)
+	if high < 4*time.Second {
+		t.Fatalf("cellular high-power time %v, want >= 4s (long tail)", high)
+	}
+	d2dHigh := m.D2DTransferTrace().HighPowerTime(300)
+	if high <= d2dHigh*3 {
+		t.Fatalf("cellular high-power time %v not ≫ D2D %v", high, d2dHigh)
+	}
+}
+
+func TestTraceSamplingPeriod(t *testing.T) {
+	// The paper captures instant current every 0.1 seconds.
+	m := DefaultModel()
+	tr := m.D2DTransferTrace()
+	if len(tr.Samples) < 2 {
+		t.Fatal("too few samples")
+	}
+	for i := 1; i < len(tr.Samples); i++ {
+		if dt := tr.Samples[i].At - tr.Samples[i-1].At; dt != m.TraceSampleEvery {
+			t.Fatalf("sample spacing %v, want %v", dt, m.TraceSampleEvery)
+		}
+	}
+}
+
+func TestTraceIntegralsMatchPhaseConstants(t *testing.T) {
+	// The above-baseline integral of each synthesized trace approximates
+	// the corresponding model constant, tying Figs. 6/7 to Table III.
+	m := DefaultModel()
+
+	d2d := float64(m.D2DTransferTrace().IntegrateAboveBaseline())
+	wantD2D := float64(m.UED2DSend) * m.distanceFactor(1)
+	if rel := math.Abs(d2d-wantD2D) / wantD2D; rel > 0.25 {
+		t.Fatalf("D2D trace integral %.1f µAh vs constant %.1f µAh (%.0f%% off)",
+			d2d, wantD2D, rel*100)
+	}
+
+	cell := float64(m.CellularTransferTrace().IntegrateAboveBaseline())
+	wantCell := float64(m.CellularTxBase)
+	if rel := math.Abs(cell-wantCell) / wantCell; rel > 0.15 {
+		t.Fatalf("cellular trace integral %.1f µAh vs constant %.1f µAh (%.0f%% off)",
+			cell, wantCell, rel*100)
+	}
+}
+
+func TestCellularTransferCostsMoreThanD2D(t *testing.T) {
+	m := DefaultModel()
+	cell := m.CellularTransferTrace().IntegrateAboveBaseline()
+	d2d := m.D2DTransferTrace().IntegrateAboveBaseline()
+	if cell <= d2d {
+		t.Fatalf("cellular %v not more expensive than D2D %v", cell, d2d)
+	}
+	if ratio := float64(cell / d2d); ratio < 3 {
+		t.Fatalf("cellular/D2D charge ratio %.1f, want >= 3", ratio)
+	}
+}
+
+func TestIntegrateEmptyTrace(t *testing.T) {
+	var tr Trace
+	if got := tr.Integrate(); got != 0 {
+		t.Fatalf("empty trace integral = %v, want 0", got)
+	}
+	if got := tr.Duration(); got != 0 {
+		t.Fatalf("empty trace duration = %v, want 0", got)
+	}
+}
+
+func TestIntegrateKnownRectangle(t *testing.T) {
+	// 1000 mA for exactly 3.6 s = 1 mAh = 1000 µAh.
+	tr := Trace{Samples: []Sample{
+		{At: 0, MA: 1000},
+		{At: 3600 * time.Millisecond, MA: 1000},
+	}}
+	got := float64(tr.Integrate())
+	if math.Abs(got-1000) > 1e-6 {
+		t.Fatalf("integral = %v µAh, want 1000", got)
+	}
+}
+
+func TestIntegrateAboveBaselineClampsNegative(t *testing.T) {
+	tr := Trace{
+		BaselineMA: 200,
+		Samples: []Sample{
+			{At: 0, MA: 100},
+			{At: time.Second, MA: 100},
+		},
+	}
+	if got := tr.IntegrateAboveBaseline(); got != 0 {
+		t.Fatalf("below-baseline integral = %v, want 0", got)
+	}
+}
+
+func TestTraceCSV(t *testing.T) {
+	m := DefaultModel()
+	csv := m.D2DTransferTrace().CSV()
+	if !strings.HasPrefix(csv, "time_s,current_mA\n") {
+		t.Fatalf("CSV missing header: %q", csv[:30])
+	}
+	lines := strings.Count(csv, "\n")
+	wantLines := int(m.D2DTraceWindow/m.TraceSampleEvery) + 2 // header + samples
+	if lines != wantLines {
+		t.Fatalf("CSV has %d lines, want %d", lines, wantLines)
+	}
+}

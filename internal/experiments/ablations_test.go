@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"testing"
+
+	"d2dhb/internal/radio"
+	"d2dhb/internal/sched"
+)
+
+func TestPolicyAblation(t *testing.T) {
+	rows, table, err := PolicyAblation(DefaultSeed)
+	if err != nil {
+		t.Fatalf("PolicyAblation: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	byKind := make(map[sched.Kind]PolicyAblationRow, len(rows))
+	for _, r := range rows {
+		byKind[r.Policy] = r
+	}
+	nagle := byKind[sched.KindNagle]
+	immediate := byKind[sched.KindImmediate]
+	aligned := byKind[sched.KindPeriodAligned]
+	fixed := byKind[sched.KindFixedDelay]
+
+	// Immediate send wastes signaling relative to Algorithm 1.
+	if immediate.L3Messages <= nagle.L3Messages {
+		t.Errorf("immediate L3 %d <= nagle %d", immediate.L3Messages, nagle.L3Messages)
+	}
+	// Algorithm 1 respects every T_k: perfect on-time delivery.
+	if nagle.OnTimeRate < 0.999 {
+		t.Errorf("nagle on-time rate = %v, want 1", nagle.OnTimeRate)
+	}
+	if nagle.FallbackResends != 0 {
+		t.Errorf("nagle fallbacks = %d, want 0", nagle.FallbackResends)
+	}
+	// Deadline-blind policies deliver late under tight expiries.
+	if aligned.OnTimeRate >= nagle.OnTimeRate {
+		t.Errorf("period-aligned on-time %v not worse than nagle %v",
+			aligned.OnTimeRate, nagle.OnTimeRate)
+	}
+	if fixed.OnTimeRate >= nagle.OnTimeRate {
+		t.Errorf("fixed-delay on-time %v not worse than nagle %v",
+			fixed.OnTimeRate, nagle.OnTimeRate)
+	}
+	if table.String() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestTechniqueAblation(t *testing.T) {
+	rows, table, err := TechniqueAblation(DefaultSeed)
+	if err != nil {
+		t.Fatalf("TechniqueAblation: %v", err)
+	}
+	find := func(tech radio.Technique, d float64) TechniqueAblationRow {
+		for _, r := range rows {
+			if r.Technique == tech && r.Distance == d {
+				return r
+			}
+		}
+		t.Fatalf("row %v/%v missing", tech, d)
+		return TechniqueAblationRow{}
+	}
+	// Both techniques forward at 2 m.
+	if !find(radio.WiFiDirect, 2).Matched || !find(radio.Bluetooth, 2).Matched {
+		t.Error("close-range match failed")
+	}
+	// At 12 m only Wi-Fi Direct still works (Section IV-A's rationale).
+	if !find(radio.WiFiDirect, 12).Matched {
+		t.Error("wifi-direct failed at 12 m")
+	}
+	if find(radio.Bluetooth, 12).Matched {
+		t.Error("bluetooth matched at 12 m, beyond its ~10 m range")
+	}
+	// Falling back to cellular costs the Bluetooth UE more signaling.
+	if find(radio.Bluetooth, 12).L3Messages <= find(radio.WiFiDirect, 12).L3Messages {
+		t.Error("bluetooth fallback did not raise signaling")
+	}
+	if table.String() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestPrejudgmentAblation(t *testing.T) {
+	rows, table, err := PrejudgmentAblation(DefaultSeed)
+	if err != nil {
+		t.Fatalf("PrejudgmentAblation: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	var with, without PrejudgmentAblationRow
+	for _, r := range rows {
+		if r.Prejudgment {
+			with = r
+		} else {
+			without = r
+		}
+	}
+	// With prejudgment the far relay is never used: clean cellular path.
+	if with.D2DSendFailures != 0 || with.FallbackResends != 0 || with.LateDeliveries != 0 {
+		t.Errorf("prejudgment path not clean: %+v", with)
+	}
+	// Without it, the lossy 33 m link causes failures and duplicates.
+	if without.D2DSendFailures+without.FallbackResends == 0 {
+		t.Errorf("no loss effects on the 33 m link: %+v", without)
+	}
+	if table.String() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestFeedbackAblation(t *testing.T) {
+	rows, table, err := FeedbackAblation(DefaultSeed)
+	if err != nil {
+		t.Fatalf("FeedbackAblation: %v", err)
+	}
+	var with, without FeedbackAblationRow
+	for _, r := range rows {
+		if r.FeedbackEnabled {
+			with = r
+		} else {
+			without = r
+		}
+	}
+	// With feedback, the heartbeat trapped in the dead relay is recovered
+	// via the cellular fallback.
+	if with.FallbackResends == 0 {
+		t.Errorf("no fallback with feedback enabled: %+v", with)
+	}
+	if with.Delivered <= without.Delivered {
+		t.Errorf("feedback did not improve delivery: %d vs %d",
+			with.Delivered, without.Delivered)
+	}
+	if without.FallbackResends != 0 {
+		t.Errorf("fallbacks without feedback: %+v", without)
+	}
+	if table.String() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestCapacityAblation(t *testing.T) {
+	rows, table, err := CapacityAblation(DefaultSeed)
+	if err != nil {
+		t.Fatalf("CapacityAblation: %v", err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	// Signaling decreases (weakly) as capacity grows…
+	for i := 1; i < len(rows); i++ {
+		if rows[i].L3Messages > rows[i-1].L3Messages {
+			t.Errorf("L3 rose from M=%d (%d) to M=%d (%d)",
+				rows[i-1].Capacity, rows[i-1].L3Messages,
+				rows[i].Capacity, rows[i].L3Messages)
+		}
+	}
+	// …and saturates once M exceeds the 7 connected UEs.
+	if rows[3].L3Messages != rows[4].L3Messages { // M=8 vs M=16
+		t.Errorf("no saturation: M=8 gives %d, M=16 gives %d",
+			rows[3].L3Messages, rows[4].L3Messages)
+	}
+	// Tiny capacity aggregates almost nothing: most UEs fall back to
+	// direct cellular sends.
+	if rows[0].ForwardedSent >= rows[3].ForwardedSent {
+		t.Errorf("M=1 forwarded %d not below M=8 forwarded %d",
+			rows[0].ForwardedSent, rows[3].ForwardedSent)
+	}
+	// With M=8 every one of the 7 UEs' heartbeats rides the aggregate.
+	if rows[3].ForwardedSent != 7*4 {
+		t.Errorf("M=8 forwarded = %d, want 28", rows[3].ForwardedSent)
+	}
+	if table.String() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestCoverageAblation(t *testing.T) {
+	rows, table, err := CoverageAblation(DefaultSeed)
+	if err != nil {
+		t.Fatalf("CoverageAblation: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	byTech := make(map[radio.Technique]CoverageAblationRow, len(rows))
+	for _, r := range rows {
+		byTech[r.Technique] = r
+	}
+	bt := byTech[radio.Bluetooth]
+	wifi := byTech[radio.WiFiDirect]
+	lte := byTech[radio.LTEDirect]
+	// Coverage strictly improves with range over a sparse 300 m crowd.
+	if !(bt.MatchedUEs <= wifi.MatchedUEs && wifi.MatchedUEs < lte.MatchedUEs) {
+		t.Fatalf("coverage not ordered: bt %d, wifi %d, lte %d",
+			bt.MatchedUEs, wifi.MatchedUEs, lte.MatchedUEs)
+	}
+	// LTE Direct covers (nearly) the whole crowd (Section II-C).
+	if lte.MatchedUEs < lte.TotalUEs*9/10 {
+		t.Fatalf("LTE Direct matched %d/%d, want >= 90%%", lte.MatchedUEs, lte.TotalUEs)
+	}
+	// And yields the biggest signaling saving.
+	if lte.L3Saving <= wifi.L3Saving {
+		t.Fatalf("LTE saving %.2f not above wifi %.2f", lte.L3Saving, wifi.L3Saving)
+	}
+	if table.String() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestIncentiveEconomics(t *testing.T) {
+	rows, table, err := Incentive(DefaultSeed)
+	if err != nil {
+		t.Fatalf("Incentive: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for i, row := range rows {
+		// Credits scale with served UEs: ~320 heartbeats per UE per day.
+		wantCredits := row.UEs * 320
+		if row.CreditsPerDay < wantCredits-row.UEs || row.CreditsPerDay > wantCredits+row.UEs {
+			t.Errorf("n=%d: credits = %d, want ≈%d", row.UEs, row.CreditsPerDay, wantCredits)
+		}
+		if row.ExtraBatteryShare <= 0 {
+			t.Errorf("n=%d: relaying cost nothing (%v)", row.UEs, row.ExtraBatteryShare)
+		}
+		// The exchange rate never worsens with more UEs (aggregation
+		// amortizes the relay's fixed costs, then saturates at the
+		// marginal per-heartbeat cost).
+		if i > 0 && row.CreditsPerBatteryPercent < rows[i-1].CreditsPerBatteryPercent-1e-6 {
+			t.Errorf("credits per battery-%% worsened at n=%d: %.2f vs %.2f",
+				row.UEs, row.CreditsPerBatteryPercent, rows[i-1].CreditsPerBatteryPercent)
+		}
+	}
+	if table.String() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestExpiryFactorAblation(t *testing.T) {
+	rows, table, err := ExpiryFactorAblation(DefaultSeed)
+	if err != nil {
+		t.Fatalf("ExpiryFactorAblation: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	byFactor := make(map[float64]ExpiryFactorRow, len(rows))
+	for _, r := range rows {
+		byFactor[r.Factor] = r
+		// Algorithm 1 never delivers late regardless of T_k tightness.
+		if r.OnTimeRate < 0.999 {
+			t.Errorf("factor %v: on-time = %v, want 1", r.Factor, r.OnTimeRate)
+		}
+	}
+	// Tight expiries force deadline-driven flushes; relaxed ones ride the
+	// period end.
+	if byFactor[0.1].DeadlineFlushes == 0 {
+		t.Error("factor 0.1: no deadline flushes")
+	}
+	if byFactor[3].DeadlineFlushes != 0 {
+		t.Errorf("factor 3: %d deadline flushes, want 0", byFactor[3].DeadlineFlushes)
+	}
+	if byFactor[3].PeriodEndFlushes == 0 {
+		t.Error("factor 3: no period-end flushes")
+	}
+	// Relaxed expiries batch better: signaling never increases with the
+	// factor.
+	if byFactor[3].L3Messages > byFactor[0.1].L3Messages {
+		t.Errorf("L3 grew with relaxed expiry: %d vs %d",
+			byFactor[3].L3Messages, byFactor[0.1].L3Messages)
+	}
+	if table.String() == "" {
+		t.Fatal("empty table")
+	}
+}
+
+func TestDelayByPolicy(t *testing.T) {
+	rows, table, err := DelayByPolicy(DefaultSeed)
+	if err != nil {
+		t.Fatalf("DelayByPolicy: %v", err)
+	}
+	byKind := make(map[sched.Kind]DelayRow, len(rows))
+	for _, r := range rows {
+		byKind[r.Policy] = r
+	}
+	immediate := byKind[sched.KindImmediate]
+	nagle := byKind[sched.KindNagle]
+	aligned := byKind[sched.KindPeriodAligned]
+
+	// Immediate: near-zero forwarding delay at maximal signaling.
+	if immediate.Relayed.MeanMs > 1000 {
+		t.Errorf("immediate mean delay = %v ms, want ≈0", immediate.Relayed.MeanMs)
+	}
+	if immediate.L3Messages <= nagle.L3Messages {
+		t.Errorf("immediate L3 %d not above nagle %d", immediate.L3Messages, nagle.L3Messages)
+	}
+	// Algorithm 1 delays messages (that is the price of batching) but
+	// never past their deadline: bounded by min(T_k, T) = 270 s.
+	if nagle.Relayed.MeanMs <= immediate.Relayed.MeanMs {
+		t.Errorf("nagle mean delay %v not above immediate %v",
+			nagle.Relayed.MeanMs, immediate.Relayed.MeanMs)
+	}
+	if nagle.Relayed.MaxMs > 270_000 {
+		t.Errorf("nagle max delay = %v ms, exceeds the period bound", nagle.Relayed.MaxMs)
+	}
+	if nagle.LateDeliveries != 0 {
+		t.Errorf("nagle late = %d, want 0", nagle.LateDeliveries)
+	}
+	// Period-aligned delays at least as long as Algorithm 1.
+	if aligned.Relayed.MeanMs < nagle.Relayed.MeanMs {
+		t.Errorf("period-aligned mean %v below nagle %v",
+			aligned.Relayed.MeanMs, nagle.Relayed.MeanMs)
+	}
+	if table.String() == "" {
+		t.Fatal("empty table")
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"time"
+
+	"d2dhb/internal/core"
+	"d2dhb/internal/energy"
+	"d2dhb/internal/hbmsg"
+	"d2dhb/internal/metrics"
+)
+
+// BatteryShareResult reproduces the paper's motivating battery claim
+// (Section I): the daily battery share one IM app's heartbeats consume,
+// with and without the D2D framework.
+type BatteryShareResult struct {
+	// OriginalDailyShare is the battery fraction burned per day by direct
+	// cellular heartbeats (paper: "at least 6%").
+	OriginalDailyShare float64
+	// UEDailyShare is the same device forwarding through a relay.
+	UEDailyShare float64
+	Table        *metrics.Table
+}
+
+// BatteryShare runs one WeChat-like device for 24 hours as the original
+// system and as a relayed UE, converting energy into Galaxy S4 battery
+// fractions.
+func BatteryShare(seed int64) (*BatteryShareResult, error) {
+	profile := hbmsg.WeChat()
+	battery := energy.GalaxyS4Battery()
+	const day = 24 * time.Hour
+
+	// Original system: every heartbeat is a cellular transmission.
+	origSim, err := core.New(core.Options{Seed: seed, Duration: day, DisableD2D: true})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := origSim.AddUE(core.UESpec{ID: "orig", Profile: profile, StartOffset: 20 * time.Second}); err != nil {
+		return nil, err
+	}
+	origRep, err := origSim.Run()
+	if err != nil {
+		return nil, err
+	}
+	origE, err := deviceEnergy(origRep, "orig")
+	if err != nil {
+		return nil, err
+	}
+
+	// D2D scheme: the same device forwards through a relay at 1 m.
+	sim, err := core.PairScenario(core.Options{Seed: seed, Duration: day}, profile, 1, 1, 8)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := sim.Run()
+	if err != nil {
+		return nil, err
+	}
+	ueE, err := deviceEnergy(rep, "ue-01")
+	if err != nil {
+		return nil, err
+	}
+
+	res := &BatteryShareResult{
+		OriginalDailyShare: battery.DrainFraction(origE),
+		UEDailyShare:       battery.DrainFraction(ueE),
+	}
+	t := metrics.NewTable(
+		"Daily battery share of one IM app's heartbeats (Galaxy S4, WeChat)",
+		"path", "energy (µAh/day)", "battery share")
+	t.AddRow("original (cellular)", metrics.F(float64(origE)), metrics.Pct(res.OriginalDailyShare))
+	t.AddRow("UE via relay (D2D)", metrics.F(float64(ueE)), metrics.Pct(res.UEDailyShare))
+	res.Table = t
+	return res, nil
+}

@@ -1,0 +1,234 @@
+// Package geo provides 2-D geometry and device mobility models for the
+// simulation. Positions are in meters on a flat plane; the base station and
+// all devices share one coordinate system.
+package geo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Point is a position on the simulation plane, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance to q in meters.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Add returns p translated by (dx, dy).
+func (p Point) Add(dx, dy float64) Point {
+	return Point{X: p.X + dx, Y: p.Y + dy}
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y)
+}
+
+// Rect is an axis-aligned rectangle describing the simulation area.
+type Rect struct {
+	Min, Max Point
+}
+
+// Square returns a side×side area anchored at the origin.
+func Square(side float64) Rect {
+	return Rect{Max: Point{X: side, Y: side}}
+}
+
+// Width returns the horizontal extent of the rectangle.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of the rectangle.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Contains reports whether p lies inside r (inclusive).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Clamp returns p constrained to lie inside r.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Min(math.Max(p.X, r.Min.X), r.Max.X),
+		Y: math.Min(math.Max(p.Y, r.Min.Y), r.Max.Y),
+	}
+}
+
+// RandomPoint draws a uniformly distributed point inside r.
+func (r Rect) RandomPoint(rng *rand.Rand) Point {
+	return Point{
+		X: r.Min.X + rng.Float64()*r.Width(),
+		Y: r.Min.Y + rng.Float64()*r.Height(),
+	}
+}
+
+// Mobility yields a device's position as a function of virtual time.
+// Implementations must be deterministic: the same instant always maps to the
+// same position so that repeated queries agree.
+type Mobility interface {
+	// Pos returns the position at virtual instant at.
+	Pos(at time.Duration) Point
+}
+
+// Static is a Mobility that never moves.
+type Static struct {
+	P Point
+}
+
+var _ Mobility = Static{}
+
+// Pos implements Mobility.
+func (s Static) Pos(time.Duration) Point { return s.P }
+
+// waypointLeg is one precomputed leg of a random-waypoint walk.
+type waypointLeg struct {
+	start    time.Duration
+	from, to Point
+	duration time.Duration
+}
+
+// RandomWaypoint is the classic random-waypoint mobility model: the device
+// repeatedly picks a uniform destination in the area and walks there at a
+// speed drawn uniformly from [MinSpeed, MaxSpeed], pausing Pause at each
+// waypoint. Legs are precomputed lazily and cached so Pos is deterministic.
+type RandomWaypoint struct {
+	area     Rect
+	minSpeed float64 // m/s
+	maxSpeed float64 // m/s
+	pause    time.Duration
+	rng      *rand.Rand
+	legs     []waypointLeg
+}
+
+var _ Mobility = (*RandomWaypoint)(nil)
+
+// NewRandomWaypoint builds a random-waypoint walker starting at start.
+// Speeds are in m/s; both must be positive and minSpeed <= maxSpeed.
+func NewRandomWaypoint(area Rect, start Point, minSpeed, maxSpeed float64, pause time.Duration, seed int64) (*RandomWaypoint, error) {
+	if minSpeed <= 0 || maxSpeed < minSpeed {
+		return nil, fmt.Errorf("geo: invalid speed range [%v, %v]", minSpeed, maxSpeed)
+	}
+	if !area.Contains(start) {
+		return nil, fmt.Errorf("geo: start %v outside area", start)
+	}
+	w := &RandomWaypoint{
+		area:     area,
+		minSpeed: minSpeed,
+		maxSpeed: maxSpeed,
+		pause:    pause,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+	w.legs = append(w.legs, waypointLeg{from: start, to: start, duration: pause})
+	return w, nil
+}
+
+// Pos implements Mobility. Queries may arrive in any order; the walk is
+// extended as far as needed and cached.
+func (w *RandomWaypoint) Pos(at time.Duration) Point {
+	if at < 0 {
+		at = 0
+	}
+	w.extend(at)
+	// Binary search would be possible, but walks are short and queries are
+	// mostly monotonic; scan from the end.
+	for i := len(w.legs) - 1; i >= 0; i-- {
+		leg := w.legs[i]
+		if at >= leg.start {
+			return interpolate(leg, at)
+		}
+	}
+	return w.legs[0].from
+}
+
+// extend appends legs until the cached walk covers instant at.
+func (w *RandomWaypoint) extend(at time.Duration) {
+	for {
+		last := w.legs[len(w.legs)-1]
+		end := last.start + last.duration
+		if end > at {
+			return
+		}
+		from := last.to
+		to := w.area.RandomPoint(w.rng)
+		speed := w.minSpeed + w.rng.Float64()*(w.maxSpeed-w.minSpeed)
+		dist := from.Dist(to)
+		travel := time.Duration(dist / speed * float64(time.Second))
+		if travel <= 0 {
+			travel = time.Millisecond
+		}
+		w.legs = append(w.legs,
+			waypointLeg{start: end, from: from, to: to, duration: travel},
+			waypointLeg{start: end + travel, from: to, to: to, duration: w.pause},
+		)
+	}
+}
+
+func interpolate(leg waypointLeg, at time.Duration) Point {
+	if leg.duration <= 0 || leg.from == leg.to {
+		return leg.to
+	}
+	frac := float64(at-leg.start) / float64(leg.duration)
+	if frac > 1 {
+		frac = 1
+	}
+	return Point{
+		X: leg.from.X + (leg.to.X-leg.from.X)*frac,
+		Y: leg.from.Y + (leg.to.Y-leg.from.Y)*frac,
+	}
+}
+
+// Orbit is a Mobility that circles a center at a fixed radius and angular
+// speed. It is useful for controlled distance sweeps: a device orbiting a
+// static relay keeps an exact, analytically known separation.
+type Orbit struct {
+	Center Point
+	Radius float64 // m
+	Omega  float64 // rad/s, may be zero for a fixed offset
+	Phase  float64 // rad at t=0
+}
+
+var _ Mobility = Orbit{}
+
+// Pos implements Mobility.
+func (o Orbit) Pos(at time.Duration) Point {
+	theta := o.Phase + o.Omega*at.Seconds()
+	return Point{
+		X: o.Center.X + o.Radius*math.Cos(theta),
+		Y: o.Center.Y + o.Radius*math.Sin(theta),
+	}
+}
+
+// Line is a Mobility that departs From at Start and moves toward To at
+// Speed m/s, stopping on arrival. Before Start the device sits at From.
+type Line struct {
+	From, To Point
+	Speed    float64 // m/s
+	Start    time.Duration
+}
+
+var _ Mobility = Line{}
+
+// Pos implements Mobility.
+func (l Line) Pos(at time.Duration) Point {
+	if at <= l.Start || l.Speed <= 0 {
+		return l.From
+	}
+	dist := l.From.Dist(l.To)
+	if dist == 0 {
+		return l.To
+	}
+	travelled := l.Speed * (at - l.Start).Seconds()
+	if travelled >= dist {
+		return l.To
+	}
+	frac := travelled / dist
+	return Point{
+		X: l.From.X + (l.To.X-l.From.X)*frac,
+		Y: l.From.Y + (l.To.Y-l.From.Y)*frac,
+	}
+}

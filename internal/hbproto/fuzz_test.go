@@ -1,0 +1,49 @@
+package hbproto
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzReadFrame hardens the decoder against arbitrary input: it must never
+// panic, and every frame it does accept must re-encode to an equivalent
+// frame (decode/encode/decode fixed point).
+func FuzzReadFrame(f *testing.F) {
+	// Seed with every valid message type.
+	seedMsgs := []Message{
+		&Register{ID: "ue-1", Role: RoleUE, App: "WeChat", Period: 270 * time.Second, Expiry: 270 * time.Second},
+		&Heartbeat{Src: "ue-1", Seq: 7, App: "QQ", Origin: time.UnixMilli(1500000000000).UTC(), Expiry: time.Minute, Pad: 378},
+		&Batch{Relay: "r", HBs: []Heartbeat{{Src: "a", Seq: 1, App: "x", Origin: time.UnixMilli(1).UTC(), Expiry: time.Second, Pad: 54}}},
+		&Ack{Refs: []Ref{{Src: "a", Seq: 1}}},
+		&Feedback{Refs: []Ref{{Src: "b", Seq: 2}}},
+	}
+	for _, m := range seedMsgs {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{'H', 'B', Version, 99, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting garbage is fine; panicking is not
+		}
+		// Accepted frames must round-trip.
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, msg); err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		again, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Type() != msg.Type() {
+			t.Fatalf("type changed across round-trip: %v vs %v", again.Type(), msg.Type())
+		}
+	})
+}

@@ -1,0 +1,410 @@
+// Package hbproto defines the wire protocol of the real (non-simulated)
+// heartbeat relaying stack: a length-prefixed binary framing with CRC32
+// integrity, carrying registrations, heartbeats, relay batches, server
+// acknowledgements and relay→UE feedback.
+//
+// Frame layout:
+//
+//	magic   [2]byte  "HB"
+//	version byte     1
+//	type    byte     message type
+//	length  uint32   payload length (big endian)
+//	payload [length]byte
+//	crc32   uint32   IEEE CRC over payload (big endian)
+//
+// Payload fields are encoded with uvarints and length-prefixed strings.
+package hbproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"time"
+)
+
+// Protocol constants.
+const (
+	Version = 1
+	// MaxFrameSize bounds payload length; heartbeats are tiny, so
+	// anything bigger indicates corruption or abuse.
+	MaxFrameSize = 1 << 20
+)
+
+var magic = [2]byte{'H', 'B'}
+
+// Protocol errors.
+var (
+	ErrBadMagic    = errors.New("hbproto: bad magic")
+	ErrBadVersion  = errors.New("hbproto: unsupported version")
+	ErrBadChecksum = errors.New("hbproto: checksum mismatch")
+	ErrFrameTooBig = errors.New("hbproto: frame exceeds size limit")
+	ErrUnknownType = errors.New("hbproto: unknown message type")
+	ErrTruncated   = errors.New("hbproto: truncated payload")
+)
+
+// MsgType identifies a protocol message.
+type MsgType byte
+
+// Message types.
+const (
+	TypeRegister  MsgType = iota + 1 // device → server/relay: identity
+	TypeHeartbeat                    // UE → relay or device → server
+	TypeBatch                        // relay → server: aggregated heartbeats
+	TypeAck                          // server → sender: heartbeats accepted
+	TypeFeedback                     // relay → UE: heartbeats delivered
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case TypeRegister:
+		return "register"
+	case TypeHeartbeat:
+		return "heartbeat"
+	case TypeBatch:
+		return "batch"
+	case TypeAck:
+		return "ack"
+	case TypeFeedback:
+		return "feedback"
+	default:
+		return fmt.Sprintf("type(%d)", byte(t))
+	}
+}
+
+// Message is one decoded protocol message.
+type Message interface {
+	// Type returns the wire type tag.
+	Type() MsgType
+	encode(b *buffer)
+	decode(b *buffer) error
+}
+
+// Role mirrors the framework roles on the wire.
+type Role byte
+
+// Wire roles.
+const (
+	RoleUE    Role = 1
+	RoleRelay Role = 2
+)
+
+// Register announces a device to a server or relay.
+type Register struct {
+	ID     string
+	Role   Role
+	App    string
+	Period time.Duration
+	Expiry time.Duration
+}
+
+// Type implements Message.
+func (*Register) Type() MsgType { return TypeRegister }
+
+func (m *Register) encode(b *buffer) {
+	b.str(m.ID)
+	b.u64(uint64(m.Role))
+	b.str(m.App)
+	b.dur(m.Period)
+	b.dur(m.Expiry)
+}
+
+func (m *Register) decode(b *buffer) (err error) {
+	if m.ID, err = b.rstr(); err != nil {
+		return err
+	}
+	role, err := b.ru64()
+	if err != nil {
+		return err
+	}
+	m.Role = Role(role)
+	if m.App, err = b.rstr(); err != nil {
+		return err
+	}
+	if m.Period, err = b.rdur(); err != nil {
+		return err
+	}
+	m.Expiry, err = b.rdur()
+	return err
+}
+
+// Heartbeat is one keep-alive on the wire. Pad declares the app's nominal
+// heartbeat size so relays and servers can account wire bytes without
+// shipping actual padding.
+type Heartbeat struct {
+	Src    string
+	Seq    uint64
+	App    string
+	Origin time.Time
+	Expiry time.Duration
+	Pad    int
+}
+
+// Type implements Message.
+func (*Heartbeat) Type() MsgType { return TypeHeartbeat }
+
+// Deadline returns the instant by which the heartbeat must reach the
+// server.
+func (m *Heartbeat) Deadline() time.Time { return m.Origin.Add(m.Expiry) }
+
+func (m *Heartbeat) encode(b *buffer) {
+	b.str(m.Src)
+	b.u64(m.Seq)
+	b.str(m.App)
+	b.i64(m.Origin.UnixMilli())
+	b.dur(m.Expiry)
+	b.u64(uint64(m.Pad))
+}
+
+func (m *Heartbeat) decode(b *buffer) (err error) {
+	if m.Src, err = b.rstr(); err != nil {
+		return err
+	}
+	if m.Seq, err = b.ru64(); err != nil {
+		return err
+	}
+	if m.App, err = b.rstr(); err != nil {
+		return err
+	}
+	ms, err := b.ri64()
+	if err != nil {
+		return err
+	}
+	m.Origin = time.UnixMilli(ms).UTC()
+	if m.Expiry, err = b.rdur(); err != nil {
+		return err
+	}
+	pad, err := b.ru64()
+	if err != nil {
+		return err
+	}
+	if pad > MaxFrameSize {
+		return fmt.Errorf("%w: pad %d", ErrFrameTooBig, pad)
+	}
+	m.Pad = int(pad)
+	return nil
+}
+
+// Batch carries aggregated heartbeats from a relay to the server.
+type Batch struct {
+	Relay string
+	HBs   []Heartbeat
+}
+
+// Type implements Message.
+func (*Batch) Type() MsgType { return TypeBatch }
+
+func (m *Batch) encode(b *buffer) {
+	b.str(m.Relay)
+	b.u64(uint64(len(m.HBs)))
+	for i := range m.HBs {
+		m.HBs[i].encode(b)
+	}
+}
+
+func (m *Batch) decode(b *buffer) (err error) {
+	if m.Relay, err = b.rstr(); err != nil {
+		return err
+	}
+	n, err := b.ru64()
+	if err != nil {
+		return err
+	}
+	if n > MaxFrameSize/8 {
+		return fmt.Errorf("%w: batch of %d", ErrFrameTooBig, n)
+	}
+	m.HBs = make([]Heartbeat, n)
+	for i := range m.HBs {
+		if err := m.HBs[i].decode(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Ref identifies one heartbeat in an acknowledgement or feedback message.
+type Ref struct {
+	Src string
+	Seq uint64
+}
+
+// Ack confirms heartbeats accepted by the server.
+type Ack struct {
+	Refs []Ref
+}
+
+// Type implements Message.
+func (*Ack) Type() MsgType { return TypeAck }
+
+func (m *Ack) encode(b *buffer)       { encodeRefs(b, m.Refs) }
+func (m *Ack) decode(b *buffer) error { return decodeRefs(b, &m.Refs) }
+
+// Feedback notifies a UE that its forwarded heartbeats were delivered.
+type Feedback struct {
+	Refs []Ref
+}
+
+// Type implements Message.
+func (*Feedback) Type() MsgType { return TypeFeedback }
+
+func (m *Feedback) encode(b *buffer)       { encodeRefs(b, m.Refs) }
+func (m *Feedback) decode(b *buffer) error { return decodeRefs(b, &m.Refs) }
+
+func encodeRefs(b *buffer, refs []Ref) {
+	b.u64(uint64(len(refs)))
+	for _, r := range refs {
+		b.str(r.Src)
+		b.u64(r.Seq)
+	}
+}
+
+func decodeRefs(b *buffer, out *[]Ref) error {
+	n, err := b.ru64()
+	if err != nil {
+		return err
+	}
+	if n > MaxFrameSize/4 {
+		return fmt.Errorf("%w: %d refs", ErrFrameTooBig, n)
+	}
+	refs := make([]Ref, n)
+	for i := range refs {
+		if refs[i].Src, err = b.rstr(); err != nil {
+			return err
+		}
+		if refs[i].Seq, err = b.ru64(); err != nil {
+			return err
+		}
+	}
+	*out = refs
+	return nil
+}
+
+// WriteFrame encodes and writes one message.
+func WriteFrame(w io.Writer, msg Message) error {
+	if msg == nil {
+		return errors.New("hbproto: nil message")
+	}
+	var body buffer
+	msg.encode(&body)
+	if len(body.data) > MaxFrameSize {
+		return ErrFrameTooBig
+	}
+	header := make([]byte, 0, 8+len(body.data)+4)
+	header = append(header, magic[0], magic[1], Version, byte(msg.Type()))
+	header = binary.BigEndian.AppendUint32(header, uint32(len(body.data)))
+	header = append(header, body.data...)
+	header = binary.BigEndian.AppendUint32(header, crc32.ChecksumIEEE(body.data))
+	_, err := w.Write(header)
+	return err
+}
+
+// ReadFrame reads and decodes one message.
+func ReadFrame(r io.Reader) (Message, error) {
+	var head [8]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		return nil, err
+	}
+	if head[0] != magic[0] || head[1] != magic[1] {
+		return nil, ErrBadMagic
+	}
+	if head[2] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, head[2])
+	}
+	length := binary.BigEndian.Uint32(head[4:8])
+	if length > MaxFrameSize {
+		return nil, ErrFrameTooBig
+	}
+	payload := make([]byte, length+4)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	body, sum := payload[:length], binary.BigEndian.Uint32(payload[length:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, ErrBadChecksum
+	}
+	msg, err := newMessage(MsgType(head[3]))
+	if err != nil {
+		return nil, err
+	}
+	b := &buffer{data: body}
+	if err := msg.decode(b); err != nil {
+		return nil, err
+	}
+	if b.pos != len(b.data) {
+		return nil, fmt.Errorf("hbproto: %d trailing bytes", len(b.data)-b.pos)
+	}
+	return msg, nil
+}
+
+func newMessage(t MsgType) (Message, error) {
+	switch t {
+	case TypeRegister:
+		return &Register{}, nil
+	case TypeHeartbeat:
+		return &Heartbeat{}, nil
+	case TypeBatch:
+		return &Batch{}, nil
+	case TypeAck:
+		return &Ack{}, nil
+	case TypeFeedback:
+		return &Feedback{}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, byte(t))
+	}
+}
+
+// buffer is a simple append/consume byte buffer with varint helpers.
+type buffer struct {
+	data []byte
+	pos  int
+}
+
+func (b *buffer) u64(v uint64) { b.data = binary.AppendUvarint(b.data, v) }
+
+func (b *buffer) i64(v int64) { b.data = binary.AppendVarint(b.data, v) }
+
+func (b *buffer) dur(d time.Duration) { b.i64(int64(d)) }
+
+func (b *buffer) str(s string) {
+	b.u64(uint64(len(s)))
+	b.data = append(b.data, s...)
+}
+
+func (b *buffer) ru64() (uint64, error) {
+	v, n := binary.Uvarint(b.data[b.pos:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	b.pos += n
+	return v, nil
+}
+
+func (b *buffer) ri64() (int64, error) {
+	v, n := binary.Varint(b.data[b.pos:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	b.pos += n
+	return v, nil
+}
+
+func (b *buffer) rdur() (time.Duration, error) {
+	v, err := b.ri64()
+	return time.Duration(v), err
+}
+
+func (b *buffer) rstr() (string, error) {
+	n, err := b.ru64()
+	if err != nil {
+		return "", err
+	}
+	if n > math.MaxInt32 || b.pos+int(n) > len(b.data) {
+		return "", ErrTruncated
+	}
+	s := string(b.data[b.pos : b.pos+int(n)])
+	b.pos += int(n)
+	return s, nil
+}

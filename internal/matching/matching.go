@@ -1,0 +1,76 @@
+// Package matching implements UE-side relay selection: from the discovery
+// results, pick the nearest available relay, applying the prejudgment of
+// Section III-C — reject relays that are too far (disconnection-prone,
+// energy-inefficient) or out of collection capacity. When no relay
+// qualifies, the UE sends directly over the cellular network.
+package matching
+
+import (
+	"fmt"
+
+	"d2dhb/internal/d2d"
+)
+
+// Config parameterizes relay selection.
+type Config struct {
+	// Prejudgment enables the distance/capacity pre-filter. Disabling it
+	// reproduces the naive matcher for the ablation benchmark.
+	Prejudgment bool
+	// MaxDistance is the prejudgment distance threshold in meters:
+	// candidates estimated farther away are rejected because
+	// "disconnection is more likely to occur when the two devices with
+	// longer distance" and D2D energy grows with distance (Fig. 12).
+	MaxDistance float64
+	// MinIntent rejects relays advertising a group-owner intent at or
+	// below this bound; a relay whose intent decayed to zero is fully
+	// loaded (Section IV-C).
+	MinIntent int
+}
+
+// DefaultConfig returns the prototype's selection parameters. The 15 m
+// bound matches the farthest distance the paper evaluates (Fig. 12), beyond
+// which the UE is predicted to consume more energy than the original
+// system.
+func DefaultConfig() Config {
+	return Config{
+		Prejudgment: true,
+		MaxDistance: 15,
+		MinIntent:   0,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.MaxDistance <= 0 {
+		return fmt.Errorf("matching: MaxDistance must be positive, got %v", c.MaxDistance)
+	}
+	if c.MinIntent < 0 || c.MinIntent > d2d.MaxGroupOwnerIntent {
+		return fmt.Errorf("matching: MinIntent must be in [0, %d], got %d",
+			d2d.MaxGroupOwnerIntent, c.MinIntent)
+	}
+	return nil
+}
+
+// Select picks a relay from discovery results (which Scan returns
+// nearest-first). It returns the chosen peer and true, or a zero PeerInfo
+// and false when no candidate qualifies — the caller then "choose[s] to
+// send the heartbeat messages via cellular network directly".
+func Select(peers []d2d.PeerInfo, cfg Config) (d2d.PeerInfo, bool) {
+	for _, p := range peers {
+		if p.FreeCapacity <= 0 {
+			continue
+		}
+		if cfg.Prejudgment {
+			if p.EstDistance > cfg.MaxDistance {
+				// Peers are sorted nearest-first: everything after this
+				// one is even farther.
+				break
+			}
+			if p.Intent <= cfg.MinIntent {
+				continue
+			}
+		}
+		return p, true
+	}
+	return d2d.PeerInfo{}, false
+}

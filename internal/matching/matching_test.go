@@ -1,0 +1,132 @@
+package matching
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"d2dhb/internal/d2d"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := DefaultConfig()
+	c.MaxDistance = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("zero distance accepted")
+	}
+	c = DefaultConfig()
+	c.MinIntent = 16
+	if err := c.Validate(); err == nil {
+		t.Fatal("intent > 15 accepted")
+	}
+	c = DefaultConfig()
+	c.MinIntent = -1
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative intent accepted")
+	}
+}
+
+func TestSelectNearestAvailable(t *testing.T) {
+	peers := []d2d.PeerInfo{
+		{ID: "near-full", EstDistance: 1, FreeCapacity: 0, Intent: 0},
+		{ID: "mid", EstDistance: 5, FreeCapacity: 3, Intent: 10},
+		{ID: "far", EstDistance: 9, FreeCapacity: 5, Intent: 15},
+	}
+	got, ok := Select(peers, DefaultConfig())
+	if !ok || got.ID != "mid" {
+		t.Fatalf("Select = %v/%v, want mid", got.ID, ok)
+	}
+}
+
+func TestSelectPrejudgmentDistance(t *testing.T) {
+	peers := []d2d.PeerInfo{
+		{ID: "too-far", EstDistance: 20, FreeCapacity: 5, Intent: 15},
+		{ID: "way-too-far", EstDistance: 25, FreeCapacity: 5, Intent: 15},
+	}
+	if _, ok := Select(peers, DefaultConfig()); ok {
+		t.Fatal("selected a relay beyond the prejudgment distance")
+	}
+	// Without prejudgment the naive matcher takes it.
+	cfg := DefaultConfig()
+	cfg.Prejudgment = false
+	got, ok := Select(peers, cfg)
+	if !ok || got.ID != "too-far" {
+		t.Fatalf("naive Select = %v/%v, want too-far", got.ID, ok)
+	}
+}
+
+func TestSelectSkipsZeroIntent(t *testing.T) {
+	peers := []d2d.PeerInfo{
+		{ID: "loaded", EstDistance: 2, FreeCapacity: 1, Intent: 0},
+		{ID: "fresh", EstDistance: 4, FreeCapacity: 5, Intent: 15},
+	}
+	got, ok := Select(peers, DefaultConfig())
+	if !ok || got.ID != "fresh" {
+		t.Fatalf("Select = %v/%v, want fresh", got.ID, ok)
+	}
+}
+
+func TestSelectEmpty(t *testing.T) {
+	if _, ok := Select(nil, DefaultConfig()); ok {
+		t.Fatal("selected from empty list")
+	}
+}
+
+// TestQuickSelectRespectsConstraints property-checks that any selected peer
+// satisfies every enabled constraint and is the nearest such peer.
+func TestQuickSelectRespectsConstraints(t *testing.T) {
+	cfg := DefaultConfig()
+	prop := func(dists []uint16, caps []uint8, intents []uint8) bool {
+		n := len(dists)
+		if len(caps) < n {
+			n = len(caps)
+		}
+		if len(intents) < n {
+			n = len(intents)
+		}
+		peers := make([]d2d.PeerInfo, 0, n)
+		for i := 0; i < n; i++ {
+			peers = append(peers, d2d.PeerInfo{
+				ID:           "p",
+				EstDistance:  float64(dists[i]%300) / 10, // 0..30 m
+				FreeCapacity: int(caps[i] % 4),
+				Intent:       int(intents[i] % 16),
+			})
+		}
+		sort.Slice(peers, func(i, j int) bool { return peers[i].EstDistance < peers[j].EstDistance })
+		got, ok := Select(peers, cfg)
+		if !ok {
+			// Verify no peer actually qualified.
+			for _, p := range peers {
+				if p.FreeCapacity > 0 && p.EstDistance <= cfg.MaxDistance && p.Intent > cfg.MinIntent {
+					return false
+				}
+			}
+			return true
+		}
+		if got.FreeCapacity <= 0 || got.EstDistance > cfg.MaxDistance || got.Intent <= cfg.MinIntent {
+			return false
+		}
+		// Must be the nearest qualifying peer.
+		for _, p := range peers {
+			if p.EstDistance >= got.EstDistance {
+				break
+			}
+			if p.FreeCapacity > 0 && p.EstDistance <= cfg.MaxDistance && p.Intent > cfg.MinIntent {
+				return false
+			}
+		}
+		return true
+	}
+	qc := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(20))}
+	if err := quick.Check(prop, qc); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package metrics provides small table and series types used to render
+// experiment results in the same shape as the paper's tables and figures.
+package metrics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of cells rendered with aligned columns.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable builds a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends one row. Short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Header))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table as aligned ASCII.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	rule := make([]string, len(t.Header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated rows (header first). Cells
+// containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one named line of a figure: y-values over shared x-values.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Figure holds the data behind one paper figure: shared x-axis plus one or
+// more series.
+type Figure struct {
+	Title  string
+	XLabel string
+	X      []float64
+	Series []Series
+}
+
+// NewFigure builds a figure with the shared x-axis.
+func NewFigure(title, xlabel string, x []float64) *Figure {
+	return &Figure{Title: title, XLabel: xlabel, X: x}
+}
+
+// Add appends one series; y must be as long as the x-axis.
+func (f *Figure) Add(name string, y []float64) error {
+	if len(y) != len(f.X) {
+		return fmt.Errorf("metrics: series %q has %d points, x-axis has %d", name, len(y), len(f.X))
+	}
+	f.Series = append(f.Series, Series{Name: name, Y: y})
+	return nil
+}
+
+// Table renders the figure as a table with the x-axis as the first column.
+func (f *Figure) Table() *Table {
+	header := make([]string, 0, len(f.Series)+1)
+	header = append(header, f.XLabel)
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	t := NewTable(f.Title, header...)
+	for i, x := range f.X {
+		row := make([]string, 0, len(header))
+		row = append(row, F(x))
+		for _, s := range f.Series {
+			row = append(row, F(s.Y[i]))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// String renders the figure via its table form.
+func (f *Figure) String() string { return f.Table().String() }
+
+// F formats a float compactly: integers without decimals, otherwise two
+// decimal places.
+func F(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
+}
+
+// Pct formats a ratio as a percentage with one decimal place.
+func Pct(v float64) string {
+	return strconv.FormatFloat(v*100, 'f', 1, 64) + "%"
+}

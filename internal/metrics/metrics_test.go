@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tb := NewTable("T", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22")
+	out := tb.String()
+	if !strings.HasPrefix(out, "T\n") {
+		t.Fatalf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("lines = %d, want 5:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Fatalf("header wrong: %q", lines[1])
+	}
+	// Columns align: every data line has the same prefix width before col 2.
+	idx1 := strings.Index(lines[3], "1")
+	idx2 := strings.Index(lines[4], "22")
+	if idx1 != idx2 {
+		t.Fatalf("columns misaligned: %d vs %d\n%s", idx1, idx2, out)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("x")
+	if got := len(tb.Rows[0]); got != 3 {
+		t.Fatalf("row padded to %d cells, want 3", got)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x,y", `with "quotes"`)
+	csv := tb.CSV()
+	want := "a,b\n\"x,y\",\"with \"\"quotes\"\"\"\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestFigureAddValidatesLength(t *testing.T) {
+	f := NewFigure("fig", "x", []float64{1, 2, 3})
+	if err := f.Add("s", []float64{1}); err == nil {
+		t.Fatal("short series accepted")
+	}
+	if err := f.Add("s", []float64{1, 2, 3}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+}
+
+func TestFigureTable(t *testing.T) {
+	f := NewFigure("fig", "k", []float64{1, 2})
+	if err := f.Add("ue", []float64{10, 20}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := f.Add("relay", []float64{30.5, 40}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	out := f.String()
+	for _, want := range []string{"fig", "k", "ue", "relay", "30.50"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestF(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{3, "3"},
+		{3.5, "3.50"},
+		{-2, "-2"},
+		{0.123, "0.12"},
+	}
+	for _, tt := range tests {
+		if got := F(tt.in); got != tt.want {
+			t.Errorf("F(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.365); got != "36.5%" {
+		t.Fatalf("Pct = %q, want 36.5%%", got)
+	}
+}

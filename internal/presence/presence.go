@@ -1,0 +1,113 @@
+// Package presence mirrors the IM server's expiration-timer table
+// (Section II-A): every delivered heartbeat resets its sender's timer, and
+// a client whose timer lapses is considered offline until the next
+// heartbeat arrives. The tracker integrates per-client online time, which
+// quantifies the "instantaneity" cost the paper warns about when heartbeats
+// are delayed or lost (Section III).
+package presence
+
+import (
+	"fmt"
+	"time"
+
+	"d2dhb/internal/hbmsg"
+)
+
+// state is one client's timer state.
+type state struct {
+	firstSeen time.Duration // first delivery (tracking anchor)
+	lastEvent time.Duration // last delivery processed
+	deadline  time.Duration // current expiration instant
+	online    time.Duration // accumulated online time
+	flaps     int           // offline→online transitions after the first
+}
+
+// Tracker integrates online time per client from delivered heartbeats.
+// Deliveries must be fed in non-decreasing time order (the simulation's
+// delivery stream already is).
+type Tracker struct {
+	clients map[hbmsg.DeviceID]*state
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{clients: make(map[hbmsg.DeviceID]*state)}
+}
+
+// Deliver processes one heartbeat arriving at the server at instant at.
+// The sender's expiration timer is reset to at + expiry (reception-based
+// reset, as IM servers do); if the previous timer had already lapsed, the
+// gap counts as offline time and a presence flap.
+func (t *Tracker) Deliver(hb hbmsg.Heartbeat, at time.Duration) error {
+	if at < 0 {
+		return fmt.Errorf("presence: negative delivery time %v", at)
+	}
+	s, ok := t.clients[hb.Src]
+	if !ok {
+		t.clients[hb.Src] = &state{
+			firstSeen: at,
+			lastEvent: at,
+			deadline:  at + hb.Expiry,
+		}
+		return nil
+	}
+	if at < s.lastEvent {
+		return fmt.Errorf("presence: delivery for %s at %v before last event %v", hb.Src, at, s.lastEvent)
+	}
+	if at <= s.deadline {
+		// Timer still running: the whole interval was online.
+		s.online += at - s.lastEvent
+	} else {
+		// Timer lapsed at s.deadline; the client was offline until now.
+		s.online += s.deadline - s.lastEvent
+		s.flaps++
+	}
+	s.lastEvent = at
+	if d := at + hb.Expiry; d > s.deadline {
+		s.deadline = d
+	}
+	return nil
+}
+
+// Stats reports a client's integrated presence up to the horizon: total
+// online time since its first delivery, the number of offline flaps, and
+// whether the client was ever seen.
+func (t *Tracker) Stats(id hbmsg.DeviceID, horizon time.Duration) (online time.Duration, flaps int, seen bool) {
+	s, ok := t.clients[id]
+	if !ok {
+		return 0, 0, false
+	}
+	online = s.online
+	if horizon > s.lastEvent {
+		end := s.deadline
+		if horizon < end {
+			end = horizon
+		}
+		if end > s.lastEvent {
+			online += end - s.lastEvent
+		}
+	}
+	return online, s.flaps, true
+}
+
+// Availability returns the fraction of time the client was online between
+// its first delivery and the horizon. A client that was never seen has zero
+// availability.
+func (t *Tracker) Availability(id hbmsg.DeviceID, horizon time.Duration) float64 {
+	s, ok := t.clients[id]
+	if !ok || horizon <= s.firstSeen {
+		return 0
+	}
+	online, _, _ := t.Stats(id, horizon)
+	return float64(online) / float64(horizon-s.firstSeen)
+}
+
+// OnlineAt reports whether the client's timer is running at instant at
+// (only meaningful for instants not before the last processed delivery).
+func (t *Tracker) OnlineAt(id hbmsg.DeviceID, at time.Duration) bool {
+	s, ok := t.clients[id]
+	return ok && at >= s.firstSeen && at <= s.deadline
+}
+
+// Clients returns how many distinct clients have been seen.
+func (t *Tracker) Clients() int { return len(t.clients) }

@@ -1,0 +1,504 @@
+package relaynet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"d2dhb/internal/hbmsg"
+	"d2dhb/internal/hbproto"
+	"d2dhb/internal/sched"
+	"d2dhb/internal/trace"
+)
+
+// RelayAgentConfig parameterizes a relay agent.
+type RelayAgentConfig struct {
+	// ID is the relay's device id.
+	ID string
+	// App names the relay's own heartbeat app.
+	App string
+	// Period is the relay's own heartbeat period (the scheduling window
+	// T).
+	Period time.Duration
+	// Expiry is the relay's own heartbeat expiration time.
+	Expiry time.Duration
+	// Pad is the relay's own heartbeat size in bytes.
+	Pad int
+	// Capacity is M, the per-period collection capacity.
+	Capacity int
+	// Tracer receives structured events when non-nil (AtMs is Unix ms).
+	Tracer trace.Tracer
+}
+
+func (c RelayAgentConfig) validate() error {
+	if c.ID == "" {
+		return errors.New("relaynet: empty relay id")
+	}
+	if c.Period <= 0 || c.Expiry <= 0 {
+		return fmt.Errorf("relaynet: period/expiry must be positive (%v/%v)", c.Period, c.Expiry)
+	}
+	if c.Capacity <= 0 {
+		return fmt.Errorf("relaynet: capacity must be positive, got %d", c.Capacity)
+	}
+	return nil
+}
+
+// RelayAgentStats aggregates a relay agent's behaviour.
+type RelayAgentStats struct {
+	UEConnections      int
+	Collected          int
+	RejectedClosed     int
+	RejectedExpire     int
+	Flushes            int
+	Forwarded          int
+	OwnHeartbeats      int
+	FeedbacksSent      int
+	Credits            int
+	UpstreamReconnects int
+}
+
+// ueConn is one connected UE on the relay's "D2D" listener.
+type ueConn struct {
+	conn net.Conn
+	id   string
+}
+
+// relayEvent is the main loop's input alphabet.
+type relayEvent struct {
+	// exactly one of the fields below is set
+	ueMsg    hbproto.Message
+	ueFrom   *ueConn
+	ueClosed *ueConn
+	ack      *hbproto.Ack
+	upErr    error
+}
+
+// RelayAgent collects heartbeats from UE connections and forwards them to
+// the server in aggregated batches under the Algorithm 1 schedule, sending
+// feedback to each UE once the server acknowledges the batch.
+type RelayAgent struct {
+	cfg RelayAgentConfig
+
+	mu         sync.Mutex
+	ln         net.Listener
+	up         net.Conn
+	serverAddr string
+	started    bool
+	closed     bool
+	stats      RelayAgentStats
+
+	events chan relayEvent
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	// main-loop state (owned by run goroutine)
+	policy   *sched.Nagle
+	start    time.Time
+	seq      uint64
+	ownHB    *hbproto.Heartbeat
+	sources  map[hbproto.Ref]*ueConn
+	ueConns  map[*ueConn]struct{}
+	awaiting []awaitingBatch
+}
+
+// awaitingBatch tracks a transmitted batch until the server acknowledges
+// it.
+type awaitingBatch struct {
+	refs []hbproto.Ref
+}
+
+// NewRelayAgent returns an unstarted relay agent.
+func NewRelayAgent(cfg RelayAgentConfig) (*RelayAgent, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	policy, err := sched.NewNagle(cfg.Capacity, cfg.Period)
+	if err != nil {
+		return nil, err
+	}
+	return &RelayAgent{
+		cfg:     cfg,
+		events:  make(chan relayEvent),
+		done:    make(chan struct{}),
+		policy:  policy,
+		sources: make(map[hbproto.Ref]*ueConn),
+		ueConns: make(map[*ueConn]struct{}),
+	}, nil
+}
+
+// Start listens for UE connections on listenAddr and connects upstream to
+// the server.
+func (r *RelayAgent) Start(listenAddr, serverAddr string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started {
+		return errors.New("relaynet: relay already started")
+	}
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return fmt.Errorf("relaynet: relay listen: %w", err)
+	}
+	up, err := net.Dial("tcp", serverAddr)
+	if err != nil {
+		_ = ln.Close()
+		return fmt.Errorf("relaynet: relay dial server: %w", err)
+	}
+	if err := hbproto.WriteFrame(up, &hbproto.Register{
+		ID: r.cfg.ID, Role: hbproto.RoleRelay, App: r.cfg.App,
+		Period: r.cfg.Period, Expiry: r.cfg.Expiry,
+	}); err != nil {
+		_ = ln.Close()
+		_ = up.Close()
+		return fmt.Errorf("relaynet: relay register: %w", err)
+	}
+	r.ln = ln
+	r.up = up
+	r.serverAddr = serverAddr
+	r.started = true
+	r.wg.Add(3)
+	go r.acceptLoop()
+	go r.upstreamReader(up)
+	go r.run()
+	return nil
+}
+
+// Addr returns the UE-side listening address.
+func (r *RelayAgent) Addr() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ln == nil {
+		return ""
+	}
+	return r.ln.Addr().String()
+}
+
+// Stats returns a snapshot of the counters.
+func (r *RelayAgent) Stats() RelayAgentStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Shutdown stops the agent and waits for its goroutines. Pending collected
+// heartbeats are lost — exactly the failure the UE fallback covers.
+func (r *RelayAgent) Shutdown() {
+	r.mu.Lock()
+	if r.closed || !r.started {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	close(r.done)
+	_ = r.ln.Close()
+	_ = r.up.Close()
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+func (r *RelayAgent) isClosed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
+func (r *RelayAgent) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			return
+		}
+		uc := &ueConn{conn: conn}
+		r.mu.Lock()
+		r.stats.UEConnections++
+		r.mu.Unlock()
+		r.wg.Add(1)
+		go r.ueReader(uc)
+	}
+}
+
+// ueReader decodes frames from one UE and forwards them to the main loop.
+func (r *RelayAgent) ueReader(uc *ueConn) {
+	defer r.wg.Done()
+	defer func() { _ = uc.conn.Close() }()
+	for {
+		msg, err := hbproto.ReadFrame(uc.conn)
+		if err != nil {
+			select {
+			case r.events <- relayEvent{ueClosed: uc}:
+			case <-r.done:
+			}
+			return
+		}
+		select {
+		case r.events <- relayEvent{ueMsg: msg, ueFrom: uc}:
+		case <-r.done:
+			return
+		}
+	}
+}
+
+// upstreamReader decodes server acknowledgements from one upstream
+// connection, reporting any terminal error to the main loop so it can
+// reconnect.
+func (r *RelayAgent) upstreamReader(conn net.Conn) {
+	defer r.wg.Done()
+	for {
+		msg, err := hbproto.ReadFrame(conn)
+		if err != nil {
+			if !r.isClosed() {
+				select {
+				case r.events <- relayEvent{upErr: err}:
+				case <-r.done:
+				}
+			}
+			return
+		}
+		if ack, ok := msg.(*hbproto.Ack); ok {
+			select {
+			case r.events <- relayEvent{ack: ack}:
+			case <-r.done:
+				return
+			}
+		}
+	}
+}
+
+// upstreamReconnectAttempts bounds the dial retries after the server
+// connection breaks; backoff doubles from 50 ms per attempt.
+const upstreamReconnectAttempts = 6
+
+// reconnectUpstream re-establishes the server connection after a break.
+// Batches awaiting acknowledgement are abandoned: their UEs recover through
+// the feedback-timeout fallback, exactly as with a dead relay.
+func (r *RelayAgent) reconnectUpstream() bool {
+	r.awaiting = nil
+	_ = r.up.Close()
+	backoff := 50 * time.Millisecond
+	for attempt := 0; attempt < upstreamReconnectAttempts; attempt++ {
+		if r.isClosed() {
+			return false
+		}
+		conn, err := net.Dial("tcp", r.serverAddr)
+		if err == nil {
+			err = hbproto.WriteFrame(conn, &hbproto.Register{
+				ID: r.cfg.ID, Role: hbproto.RoleRelay, App: r.cfg.App,
+				Period: r.cfg.Period, Expiry: r.cfg.Expiry,
+			})
+		}
+		if err == nil {
+			r.mu.Lock()
+			r.up = conn
+			r.stats.UpstreamReconnects++
+			r.mu.Unlock()
+			r.wg.Add(1)
+			go r.upstreamReader(conn)
+			return true
+		}
+		if conn != nil {
+			_ = conn.Close()
+		}
+		select {
+		case <-r.done:
+			return false
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+	return false
+}
+
+// now returns policy time: the duration since the agent started.
+func (r *RelayAgent) now() time.Duration { return time.Since(r.start) }
+
+// run is the single goroutine owning the scheduling state.
+func (r *RelayAgent) run() {
+	defer r.wg.Done()
+	r.start = time.Now()
+	r.startPeriod()
+
+	periodTimer := time.NewTimer(r.cfg.Period)
+	defer periodTimer.Stop()
+	flushTimer := time.NewTimer(time.Hour)
+	r.armFlushTimer(flushTimer)
+	defer flushTimer.Stop()
+
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-periodTimer.C:
+			r.flush()
+			r.startPeriod()
+			periodTimer.Reset(r.cfg.Period)
+			r.armFlushTimer(flushTimer)
+		case <-flushTimer.C:
+			r.flush()
+			r.armFlushTimer(flushTimer)
+		case ev := <-r.events:
+			switch {
+			case ev.ueMsg != nil:
+				r.handleUE(ev.ueFrom, ev.ueMsg)
+				r.armFlushTimer(flushTimer)
+			case ev.ueClosed != nil:
+				delete(r.ueConns, ev.ueClosed)
+			case ev.ack != nil:
+				r.handleAck(ev.ack)
+			case ev.upErr != nil:
+				// Upstream broke: try to reconnect; if the server stays
+				// unreachable, stop scheduling and let UEs fall back.
+				if !r.reconnectUpstream() {
+					return
+				}
+			}
+		}
+	}
+}
+
+// armFlushTimer points the flush timer at the policy's current deadline.
+func (r *RelayAgent) armFlushTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	at, ok := r.policy.Deadline()
+	if !ok {
+		t.Reset(time.Hour) // nothing to flush until the next period
+		return
+	}
+	d := at - r.now()
+	if d < 0 {
+		d = 0
+	}
+	t.Reset(d)
+}
+
+func (r *RelayAgent) startPeriod() {
+	r.seq++
+	now := r.now()
+	r.policy.StartPeriod(now)
+	r.ownHB = &hbproto.Heartbeat{
+		Src: r.cfg.ID, Seq: r.seq, App: r.cfg.App,
+		Origin: time.Now(), Expiry: r.cfg.Expiry, Pad: r.cfg.Pad,
+	}
+	r.mu.Lock()
+	r.stats.OwnHeartbeats++
+	r.mu.Unlock()
+}
+
+func (r *RelayAgent) handleUE(uc *ueConn, msg hbproto.Message) {
+	switch m := msg.(type) {
+	case *hbproto.Register:
+		uc.id = m.ID
+		r.ueConns[uc] = struct{}{}
+	case *hbproto.Heartbeat:
+		r.collect(uc, m)
+	default:
+		// UEs only register and send heartbeats; ignore anything else.
+	}
+}
+
+// collect runs Algorithm 1 on one forwarded heartbeat.
+func (r *RelayAgent) collect(uc *ueConn, m *hbproto.Heartbeat) {
+	now := r.now()
+	hb := hbmsg.Heartbeat{
+		App:    m.App,
+		Src:    hbmsg.DeviceID(m.Src),
+		Seq:    m.Seq,
+		Origin: now - time.Since(m.Origin), // arrival-relative origin
+		Expiry: m.Expiry,
+		Size:   m.Pad,
+	}
+	flushNow, err := r.policy.Collect(hb, now)
+	switch {
+	case errors.Is(err, sched.ErrClosed):
+		r.mu.Lock()
+		r.stats.RejectedClosed++
+		r.mu.Unlock()
+		return
+	case errors.Is(err, sched.ErrExpired):
+		r.mu.Lock()
+		r.stats.RejectedExpire++
+		r.mu.Unlock()
+		return
+	case err != nil:
+		return
+	}
+	r.sources[hbproto.Ref{Src: m.Src, Seq: m.Seq}] = uc
+	r.mu.Lock()
+	r.stats.Collected++
+	r.mu.Unlock()
+	trace.Emit(r.cfg.Tracer, trace.Event{
+		AtMs: time.Now().UnixMilli(), Device: r.cfg.ID, Kind: trace.KindCollect,
+		App: m.App, Seq: m.Seq, Peer: m.Src,
+	})
+	if flushNow {
+		r.flush()
+	}
+}
+
+// flush transmits the batch plus the relay's own heartbeat upstream.
+func (r *RelayAgent) flush() {
+	batch := r.policy.Flush(r.now())
+	out := &hbproto.Batch{Relay: r.cfg.ID}
+	refs := make([]hbproto.Ref, 0, len(batch))
+	for _, hb := range batch {
+		wire := hbproto.Heartbeat{
+			Src: string(hb.Src), Seq: hb.Seq, App: hb.App,
+			Origin: r.start.Add(hb.Origin), Expiry: hb.Expiry, Pad: hb.Size,
+		}
+		out.HBs = append(out.HBs, wire)
+		refs = append(refs, hbproto.Ref{Src: wire.Src, Seq: wire.Seq})
+	}
+	if r.ownHB != nil {
+		out.HBs = append(out.HBs, *r.ownHB)
+		r.ownHB = nil
+	}
+	if len(out.HBs) == 0 {
+		return
+	}
+	if err := hbproto.WriteFrame(r.up, out); err != nil {
+		return
+	}
+	r.awaiting = append(r.awaiting, awaitingBatch{refs: refs})
+	trace.Emit(r.cfg.Tracer, trace.Event{
+		AtMs: time.Now().UnixMilli(), Device: r.cfg.ID, Kind: trace.KindFlush,
+		N: len(out.HBs), Reason: r.policy.LastFlushReason().String(),
+	})
+	r.mu.Lock()
+	r.stats.Flushes++
+	r.stats.Forwarded += len(refs)
+	r.stats.Credits += len(refs)
+	r.mu.Unlock()
+}
+
+// handleAck relays the server's acknowledgement to each UE as feedback.
+func (r *RelayAgent) handleAck(ack *hbproto.Ack) {
+	if len(r.awaiting) > 0 {
+		r.awaiting = r.awaiting[1:]
+	}
+	perUE := make(map[*ueConn][]hbproto.Ref)
+	for _, ref := range ack.Refs {
+		uc, ok := r.sources[ref]
+		if !ok {
+			continue // the relay's own heartbeat, or a vanished UE
+		}
+		delete(r.sources, ref)
+		if _, alive := r.ueConns[uc]; !alive {
+			continue
+		}
+		perUE[uc] = append(perUE[uc], ref)
+	}
+	for uc, refs := range perUE {
+		if err := hbproto.WriteFrame(uc.conn, &hbproto.Feedback{Refs: refs}); err != nil {
+			continue
+		}
+		r.mu.Lock()
+		r.stats.FeedbacksSent += len(refs)
+		r.mu.Unlock()
+	}
+}

@@ -1,0 +1,512 @@
+package relaynet
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"d2dhb/internal/hbproto"
+	"d2dhb/internal/trace"
+)
+
+// eventually polls cond until it holds or the deadline passes.
+func eventually(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("condition never held: %s", msg)
+}
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	s := NewServer()
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("server Start: %v", err)
+	}
+	t.Cleanup(s.Shutdown)
+	return s
+}
+
+func startRelay(t *testing.T, serverAddr string, period, expiry time.Duration, capacity int) *RelayAgent {
+	t.Helper()
+	r, err := NewRelayAgent(RelayAgentConfig{
+		ID: "relay-1", App: "std", Period: period, Expiry: expiry, Pad: 54, Capacity: capacity,
+	})
+	if err != nil {
+		t.Fatalf("NewRelayAgent: %v", err)
+	}
+	if err := r.Start("127.0.0.1:0", serverAddr); err != nil {
+		t.Fatalf("relay Start: %v", err)
+	}
+	t.Cleanup(r.Shutdown)
+	return r
+}
+
+func ueConfig(id, relayAddr, serverAddr string, period, expiry time.Duration) UEClientConfig {
+	return UEClientConfig{
+		ID: id, App: "std", Period: period, Expiry: expiry, Pad: 54,
+		RelayAddr: relayAddr, ServerAddr: serverAddr,
+	}
+}
+
+func TestServerDirectHeartbeat(t *testing.T) {
+	s := startServer(t)
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+
+	hb := &hbproto.Heartbeat{
+		Src: "ue-x", Seq: 1, App: "std",
+		Origin: time.Now(), Expiry: time.Minute, Pad: 54,
+	}
+	if err := hbproto.WriteFrame(conn, hb); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	msg, err := hbproto.ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("read ack: %v", err)
+	}
+	ack, ok := msg.(*hbproto.Ack)
+	if !ok || len(ack.Refs) != 1 || ack.Refs[0] != (hbproto.Ref{Src: "ue-x", Seq: 1}) {
+		t.Fatalf("ack = %+v", msg)
+	}
+	if !s.Online("ue-x", time.Now()) {
+		t.Fatal("client not online after heartbeat")
+	}
+	if s.Online("ue-x", time.Now().Add(2*time.Minute)) {
+		t.Fatal("client online past expiry")
+	}
+	st := s.Stats()
+	if st.HeartbeatsDirect != 1 || st.Connections != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestServerRegisterAndExpiry(t *testing.T) {
+	s := startServer(t)
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if err := hbproto.WriteFrame(conn, &hbproto.Register{
+		ID: "ue-y", Role: hbproto.RoleUE, App: "std",
+		Period: time.Minute, Expiry: time.Minute,
+	}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	eventually(t, time.Second, func() bool { return s.Stats().Registers == 1 }, "register counted")
+	if !s.Online("ue-y", time.Now()) {
+		t.Fatal("registered client not online")
+	}
+	if got := s.OnlineCount(time.Now()); got != 1 {
+		t.Fatalf("online count = %d, want 1", got)
+	}
+}
+
+func TestServerRejectsProtocolViolation(t *testing.T) {
+	s := startServer(t)
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	// An Ack from a client is a protocol violation: server drops the conn.
+	if err := hbproto.WriteFrame(conn, &hbproto.Ack{}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		t.Fatalf("deadline: %v", err)
+	}
+	if _, err := hbproto.ReadFrame(conn); err == nil {
+		t.Fatal("connection survived protocol violation")
+	}
+}
+
+func TestEndToEndRelaying(t *testing.T) {
+	// Full pipeline: two UEs forward through a relay; the relay batches
+	// under Algorithm 1 and the server acks trigger feedback.
+	s := startServer(t)
+	const (
+		period = 150 * time.Millisecond
+		expiry = 250 * time.Millisecond // > period: presence stays stable
+	)
+	r := startRelay(t, s.Addr(), period, expiry, 8)
+
+	ues := make([]*UEClient, 0, 2)
+	for _, id := range []string{"ue-1", "ue-2"} {
+		u, err := NewUEClient(ueConfig(id, r.Addr(), s.Addr(), period, expiry))
+		if err != nil {
+			t.Fatalf("NewUEClient: %v", err)
+		}
+		if err := u.Start(); err != nil {
+			t.Fatalf("ue Start: %v", err)
+		}
+		t.Cleanup(u.Shutdown)
+		ues = append(ues, u)
+	}
+
+	// Within a few periods every component has turned over.
+	eventually(t, 3*time.Second, func() bool {
+		return s.Stats().HeartbeatsRelayed >= 4
+	}, "server received relayed heartbeats")
+	eventually(t, 3*time.Second, func() bool {
+		return ues[0].Stats().FeedbackAcks >= 1 && ues[1].Stats().FeedbackAcks >= 1
+	}, "UEs received feedback")
+
+	st := s.Stats()
+	if st.Batches == 0 {
+		t.Fatal("no batches at server")
+	}
+	rs := r.Stats()
+	if rs.Collected == 0 || rs.Flushes == 0 || rs.Forwarded == 0 {
+		t.Fatalf("relay stats empty: %+v", rs)
+	}
+	if rs.Credits != rs.Forwarded {
+		t.Fatalf("credits %d != forwarded %d", rs.Credits, rs.Forwarded)
+	}
+	// Both UEs online at the server.
+	if !s.Online("ue-1", time.Now()) || !s.Online("ue-2", time.Now()) {
+		t.Fatal("UEs not online via relay")
+	}
+	// UEs went through the relay, not direct.
+	for i, u := range ues {
+		us := u.Stats()
+		if us.ViaRelay == 0 {
+			t.Fatalf("ue %d never used relay: %+v", i, us)
+		}
+		if us.Direct != 0 {
+			t.Fatalf("ue %d sent direct despite relay: %+v", i, us)
+		}
+	}
+	// Aggregation actually happened: fewer server connections than
+	// heartbeats (2 UEs + relay share one upstream pipe).
+	if st.Connections > 3 {
+		t.Fatalf("connections = %d, want <= 3", st.Connections)
+	}
+}
+
+func TestUEDirectModeWithoutRelay(t *testing.T) {
+	s := startServer(t)
+	u, err := NewUEClient(ueConfig("ue-d", "", s.Addr(), 80*time.Millisecond, 70*time.Millisecond))
+	if err != nil {
+		t.Fatalf("NewUEClient: %v", err)
+	}
+	if err := u.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(u.Shutdown)
+	eventually(t, 2*time.Second, func() bool {
+		return s.Stats().HeartbeatsDirect >= 2
+	}, "direct heartbeats arrived")
+	if got := u.Stats(); got.ViaRelay != 0 || got.Direct < 2 {
+		t.Fatalf("stats = %+v", got)
+	}
+	if !s.Online("ue-d", time.Now()) {
+		t.Fatal("direct UE not online")
+	}
+}
+
+func TestUEFallbackWhenRelayDies(t *testing.T) {
+	s := startServer(t)
+	const (
+		period = 200 * time.Millisecond
+		expiry = 150 * time.Millisecond
+	)
+	r := startRelay(t, s.Addr(), period, expiry, 8)
+
+	cfg := ueConfig("ue-f", r.Addr(), s.Addr(), period, expiry)
+	cfg.FeedbackTimeout = 100 * time.Millisecond
+	u, err := NewUEClient(cfg)
+	if err != nil {
+		t.Fatalf("NewUEClient: %v", err)
+	}
+	if err := u.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(u.Shutdown)
+
+	eventually(t, 2*time.Second, func() bool { return u.Stats().ViaRelay >= 1 }, "first forward")
+	r.Shutdown() // the relay dies with heartbeats potentially pending
+
+	// The UE times out on feedback and resends directly; later heartbeats
+	// go direct because the relay conn is gone.
+	eventually(t, 3*time.Second, func() bool {
+		st := u.Stats()
+		return st.FallbackResends >= 1 || st.Direct >= 1
+	}, "fallback to direct after relay death")
+	eventually(t, 3*time.Second, func() bool {
+		return s.Online("ue-f", time.Now())
+	}, "UE back online via direct path")
+}
+
+func TestRelayCapacityFlushImmediately(t *testing.T) {
+	s := startServer(t)
+	// Capacity 1: every collected heartbeat flushes at once.
+	r := startRelay(t, s.Addr(), 500*time.Millisecond, 400*time.Millisecond, 1)
+	u, err := NewUEClient(ueConfig("ue-c", r.Addr(), s.Addr(), 100*time.Millisecond, 80*time.Millisecond))
+	if err != nil {
+		t.Fatalf("NewUEClient: %v", err)
+	}
+	if err := u.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(u.Shutdown)
+	eventually(t, 2*time.Second, func() bool { return r.Stats().Flushes >= 1 }, "capacity flush")
+	eventually(t, 2*time.Second, func() bool { return s.Stats().HeartbeatsRelayed >= 1 }, "relayed heartbeat arrived")
+	// Subsequent forwards in the same relay period are rejected (window
+	// closed) and recovered by fallback.
+	eventually(t, 3*time.Second, func() bool { return r.Stats().RejectedClosed >= 1 }, "closed-window rejection")
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewRelayAgent(RelayAgentConfig{}); err == nil {
+		t.Fatal("empty relay config accepted")
+	}
+	if _, err := NewRelayAgent(RelayAgentConfig{ID: "r", Period: time.Second, Expiry: time.Second}); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := NewUEClient(UEClientConfig{}); err == nil {
+		t.Fatal("empty ue config accepted")
+	}
+	if _, err := NewUEClient(UEClientConfig{ID: "u", Period: time.Second, Expiry: time.Second}); err == nil {
+		t.Fatal("missing server addr accepted")
+	}
+}
+
+func TestLifecycleIdempotence(t *testing.T) {
+	s := NewServer()
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := s.Start("127.0.0.1:0"); err == nil {
+		t.Fatal("double server start accepted")
+	}
+	s.Shutdown()
+	s.Shutdown() // idempotent
+
+	r, err := NewRelayAgent(RelayAgentConfig{
+		ID: "r", App: "a", Period: time.Second, Expiry: time.Second, Pad: 54, Capacity: 1,
+	})
+	if err != nil {
+		t.Fatalf("NewRelayAgent: %v", err)
+	}
+	r.Shutdown() // not started: no-op
+
+	u, err := NewUEClient(UEClientConfig{
+		ID: "u", App: "a", Period: time.Second, Expiry: time.Second, ServerAddr: "127.0.0.1:1",
+	})
+	if err != nil {
+		t.Fatalf("NewUEClient: %v", err)
+	}
+	u.Shutdown() // not started: no-op
+}
+
+func TestRelayStartFailsWithoutServer(t *testing.T) {
+	r, err := NewRelayAgent(RelayAgentConfig{
+		ID: "r", App: "a", Period: time.Second, Expiry: time.Second, Pad: 54, Capacity: 1,
+	})
+	if err != nil {
+		t.Fatalf("NewRelayAgent: %v", err)
+	}
+	if err := r.Start("127.0.0.1:0", "127.0.0.1:1"); err == nil {
+		r.Shutdown()
+		t.Fatal("relay started without a server")
+	}
+}
+
+func TestUEReconnectsWhenRelayAppearsLater(t *testing.T) {
+	s := startServer(t)
+	const (
+		period = 100 * time.Millisecond
+		expiry = 200 * time.Millisecond
+	)
+	// Reserve an address for the relay, then release it so the UE's first
+	// dials fail.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	relayAddr := ln.Addr().String()
+	_ = ln.Close()
+
+	u, err := NewUEClient(ueConfig("ue-r", relayAddr, s.Addr(), period, expiry))
+	if err != nil {
+		t.Fatalf("NewUEClient: %v", err)
+	}
+	if err := u.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(u.Shutdown)
+
+	// Without a relay the UE goes direct.
+	eventually(t, 2*time.Second, func() bool { return u.Stats().Direct >= 1 }, "direct sends before relay exists")
+
+	// The relay comes up on the reserved address; the UE re-matches.
+	r, err := NewRelayAgent(RelayAgentConfig{
+		ID: "relay-l", App: "std", Period: period, Expiry: expiry, Pad: 54, Capacity: 8,
+	})
+	if err != nil {
+		t.Fatalf("NewRelayAgent: %v", err)
+	}
+	if err := r.Start(relayAddr, s.Addr()); err != nil {
+		t.Skipf("reserved address no longer available: %v", err)
+	}
+	t.Cleanup(r.Shutdown)
+
+	eventually(t, 3*time.Second, func() bool { return u.Stats().ViaRelay >= 1 }, "UE switched to relay")
+	if got := u.Stats().RelayReconnects; got < 1 {
+		t.Fatalf("reconnects = %d, want >= 1", got)
+	}
+}
+
+func TestUEFailsOverToFallbackRelay(t *testing.T) {
+	s := startServer(t)
+	const (
+		period = 100 * time.Millisecond
+		expiry = 200 * time.Millisecond
+	)
+	// Only the fallback relay exists; the primary address is dead.
+	r := startRelay(t, s.Addr(), period, expiry, 8)
+	cfg := ueConfig("ue-fo", "127.0.0.1:1", s.Addr(), period, expiry)
+	cfg.FallbackRelayAddrs = []string{r.Addr()}
+	u, err := NewUEClient(cfg)
+	if err != nil {
+		t.Fatalf("NewUEClient: %v", err)
+	}
+	if err := u.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(u.Shutdown)
+	eventually(t, 3*time.Second, func() bool { return u.Stats().ViaRelay >= 1 }, "UE used fallback relay")
+	if got := u.Stats().Direct; got > 1 {
+		t.Fatalf("direct sends = %d despite available fallback relay", got)
+	}
+}
+
+func TestServerAvailabilityTracking(t *testing.T) {
+	s := startServer(t)
+	u, err := NewUEClient(ueConfig("ue-av", "", s.Addr(), 60*time.Millisecond, 150*time.Millisecond))
+	if err != nil {
+		t.Fatalf("NewUEClient: %v", err)
+	}
+	if err := u.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(u.Shutdown)
+	eventually(t, 2*time.Second, func() bool { return s.Stats().HeartbeatsDirect >= 4 }, "heartbeats flowing")
+	avail, flaps := s.Availability("ue-av")
+	if avail <= 0.5 || avail > 1.000001 {
+		t.Fatalf("availability = %v, want near 1", avail)
+	}
+	if flaps != 0 {
+		t.Fatalf("flaps = %d, want 0 with continuous heartbeats", flaps)
+	}
+	if a, _ := s.Availability("ghost"); a != 0 {
+		t.Fatalf("ghost availability = %v, want 0", a)
+	}
+}
+
+func TestUEMultiAppHeartbeats(t *testing.T) {
+	// The Message Monitor analog: two registered apps on one device, both
+	// relayed and acknowledged over the shared link.
+	s := startServer(t)
+	const (
+		period = 120 * time.Millisecond
+		expiry = 250 * time.Millisecond
+	)
+	r := startRelay(t, s.Addr(), period, expiry, 8)
+	cfg := ueConfig("ue-m", r.Addr(), s.Addr(), period, expiry)
+	cfg.ExtraApps = []UEApp{{Name: "second", Period: 90 * time.Millisecond, Expiry: expiry, Pad: 100}}
+	u, err := NewUEClient(cfg)
+	if err != nil {
+		t.Fatalf("NewUEClient: %v", err)
+	}
+	if err := u.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(u.Shutdown)
+
+	eventually(t, 3*time.Second, func() bool { return u.Stats().ViaRelay >= 4 }, "both apps forwarding")
+	eventually(t, 3*time.Second, func() bool { return u.Stats().FeedbackAcks >= 2 }, "acks for both apps")
+	if got := u.Stats().Direct; got != 0 {
+		t.Fatalf("direct = %d with live relay", got)
+	}
+	if !s.Online("ue-m", time.Now()) {
+		t.Fatal("multi-app UE not online")
+	}
+}
+
+func TestUEMultiAppValidation(t *testing.T) {
+	cfg := ueConfig("u", "", "127.0.0.1:1", time.Second, time.Second)
+	cfg.ExtraApps = []UEApp{{Name: "bad"}}
+	if _, err := NewUEClient(cfg); err == nil {
+		t.Fatal("invalid extra app accepted")
+	}
+}
+
+func TestRealStackTracing(t *testing.T) {
+	var rec trace.Recorder
+	s := NewServer()
+	s.SetTracer(&rec)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("server Start: %v", err)
+	}
+	t.Cleanup(s.Shutdown)
+
+	const (
+		period = 100 * time.Millisecond
+		expiry = 200 * time.Millisecond
+	)
+	r, err := NewRelayAgent(RelayAgentConfig{
+		ID: "relay-t", App: "std", Period: period, Expiry: expiry, Pad: 54,
+		Capacity: 8, Tracer: &rec,
+	})
+	if err != nil {
+		t.Fatalf("NewRelayAgent: %v", err)
+	}
+	if err := r.Start("127.0.0.1:0", s.Addr()); err != nil {
+		t.Fatalf("relay Start: %v", err)
+	}
+	t.Cleanup(r.Shutdown)
+
+	cfg := ueConfig("ue-t", r.Addr(), s.Addr(), period, expiry)
+	cfg.Tracer = &rec
+	u, err := NewUEClient(cfg)
+	if err != nil {
+		t.Fatalf("NewUEClient: %v", err)
+	}
+	if err := u.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(u.Shutdown)
+
+	eventually(t, 3*time.Second, func() bool {
+		return len(rec.ByKind(trace.KindAck)) >= 1 && len(rec.ByKind(trace.KindDelivery)) >= 2
+	}, "traced lifecycle events")
+
+	for _, kind := range []trace.Kind{
+		trace.KindGenerated, trace.KindD2DSend, trace.KindCollect,
+		trace.KindFlush, trace.KindDelivery, trace.KindAck,
+	} {
+		if len(rec.ByKind(kind)) == 0 {
+			t.Errorf("no %s events traced", kind)
+		}
+	}
+	// Delay analysis over the real stack: relayed deliveries match
+	// generation events by (device, seq).
+	a := trace.Analyze(rec.Events())
+	if a.Relayed.Count == 0 {
+		t.Fatalf("no relayed delays computed: %v", rec.String())
+	}
+	if a.Relayed.MaxMs > float64(2*period/time.Millisecond)+100 {
+		t.Errorf("relayed delay %v ms implausibly large", a.Relayed.MaxMs)
+	}
+}

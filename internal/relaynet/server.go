@@ -1,0 +1,276 @@
+// Package relaynet implements the heartbeat relaying framework as a real
+// networked system: an IM presence server, a relay agent running the
+// Algorithm 1 scheduler against wall-clock time, and a UE client with
+// feedback tracking and direct fallback. Components speak hbproto over any
+// net.Conn; in tests and examples the "D2D" hop is loopback TCP.
+package relaynet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"d2dhb/internal/hbmsg"
+	"d2dhb/internal/hbproto"
+	presencepkg "d2dhb/internal/presence"
+	"d2dhb/internal/trace"
+)
+
+// ServerStats aggregates a presence server's observable behaviour.
+type ServerStats struct {
+	Connections       int
+	Registers         int
+	HeartbeatsDirect  int
+	HeartbeatsRelayed int
+	Batches           int
+	// Late counts heartbeats that arrived past their origin+expiry
+	// deadline: the sender had already flapped offline in between (the
+	// paper's lost "effective heartbeat messages").
+	Late int
+}
+
+// presence is one client's keep-alive state.
+type presence struct {
+	app      string
+	lastSeen time.Time
+	deadline time.Time
+}
+
+// Server is the IM presence server: it tracks per-client expiration timers
+// that heartbeats reset (Section II-A).
+type Server struct {
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	clients map[string]*presence
+	tracker *presencepkg.Tracker
+	tracer  trace.Tracer
+	start   time.Time
+	stats   ServerStats
+	started bool
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// NewServer returns an unstarted server.
+func NewServer() *Server {
+	return &Server{
+		conns:   make(map[net.Conn]struct{}),
+		clients: make(map[string]*presence),
+		tracker: presencepkg.NewTracker(),
+	}
+}
+
+// SetTracer attaches an event tracer; call before Start. Real-stack events
+// carry absolute Unix milliseconds in AtMs (components are independent
+// processes with no shared virtual clock).
+func (s *Server) SetTracer(tr trace.Tracer) { s.tracer = tr }
+
+// Start listens on addr (use "127.0.0.1:0" for an ephemeral port) and
+// serves until Shutdown.
+func (s *Server) Start(addr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return errors.New("relaynet: server already started")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("relaynet: listen: %w", err)
+	}
+	s.ln = ln
+	s.started = true
+	s.start = time.Now()
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown stops accepting, closes every connection and waits for all
+// handler goroutines to exit.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.closed || !s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	_ = s.ln.Close()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Online reports whether the client's expiration timer is still running at
+// instant now.
+func (s *Server) Online(id string, now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.clients[id]
+	return ok && now.Before(p.deadline)
+}
+
+// OnlineCount returns how many clients are online at instant now.
+func (s *Server) OnlineCount(now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, p := range s.clients {
+		if now.Before(p.deadline) {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.stats.Connections++
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		msg, err := hbproto.ReadFrame(conn)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				// Protocol error: drop the connection; the client will
+				// reconnect and resend.
+				return
+			}
+			return
+		}
+		if err := s.handleMessage(conn, msg); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handleMessage(conn net.Conn, msg hbproto.Message) error {
+	now := time.Now()
+	switch m := msg.(type) {
+	case *hbproto.Register:
+		s.mu.Lock()
+		s.stats.Registers++
+		s.clients[m.ID] = &presence{
+			app:      m.App,
+			lastSeen: now,
+			deadline: now.Add(m.Expiry),
+		}
+		s.mu.Unlock()
+		return nil
+	case *hbproto.Heartbeat:
+		s.touch(m, now, false)
+		return hbproto.WriteFrame(conn, &hbproto.Ack{
+			Refs: []hbproto.Ref{{Src: m.Src, Seq: m.Seq}},
+		})
+	case *hbproto.Batch:
+		refs := make([]hbproto.Ref, 0, len(m.HBs))
+		for i := range m.HBs {
+			s.touch(&m.HBs[i], now, true)
+			refs = append(refs, hbproto.Ref{Src: m.HBs[i].Src, Seq: m.HBs[i].Seq})
+		}
+		s.mu.Lock()
+		s.stats.Batches++
+		s.mu.Unlock()
+		return hbproto.WriteFrame(conn, &hbproto.Ack{Refs: refs})
+	default:
+		return fmt.Errorf("relaynet: unexpected %v from client", msg.Type())
+	}
+}
+
+// touch resets a client's expiration timer: IM apps "send heartbeat
+// messages frequently to reset the expiration timers" (Section II-A), so
+// the timer runs for the heartbeat's expiry from reception. A heartbeat
+// arriving past its own origin+expiry deadline still resets the timer but
+// is counted late: the client had already flapped offline in between.
+func (s *Server) touch(hb *hbproto.Heartbeat, now time.Time, relayed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if relayed {
+		s.stats.HeartbeatsRelayed++
+	} else {
+		s.stats.HeartbeatsDirect++
+	}
+	if now.After(hb.Deadline()) {
+		s.stats.Late++
+	}
+	p, ok := s.clients[hb.Src]
+	if !ok {
+		p = &presence{app: hb.App}
+		s.clients[hb.Src] = p
+	}
+	p.lastSeen = now
+	if deadline := now.Add(hb.Expiry); deadline.After(p.deadline) {
+		p.deadline = deadline
+	}
+	_ = s.tracker.Deliver(hbmsg.Heartbeat{
+		Src:    hbmsg.DeviceID(hb.Src),
+		Seq:    hb.Seq,
+		App:    hb.App,
+		Expiry: hb.Expiry,
+	}, now.Sub(s.start))
+	via := hb.Src
+	if relayed {
+		via = "relay"
+	}
+	trace.Emit(s.tracer, trace.Event{
+		AtMs: now.UnixMilli(), Device: hb.Src, Kind: trace.KindDelivery,
+		App: hb.App, Seq: hb.Seq, Peer: via, OnTime: !now.After(hb.Deadline()),
+	})
+}
+
+// Availability returns the fraction of time the client was online between
+// its first heartbeat and now, and how many times it flapped offline.
+func (s *Server) Availability(id string) (availability float64, flaps int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	horizon := time.Since(s.start)
+	_, flaps, _ = s.tracker.Stats(hbmsg.DeviceID(id), horizon)
+	return s.tracker.Availability(hbmsg.DeviceID(id), horizon), flaps
+}

@@ -1,0 +1,436 @@
+package relaynet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"d2dhb/internal/hbproto"
+	"d2dhb/internal/trace"
+)
+
+// UEApp is one registered heartbeat-producing app — the real-stack analog
+// of the paper's Message Monitor, through which "app developers integrate
+// the proposed D2D based framework into their existing apps" (Section
+// IV-B) by declaring each app's heartbeat parameters.
+type UEApp struct {
+	// Name identifies the app.
+	Name string
+	// Period is the heartbeat interval.
+	Period time.Duration
+	// Expiry is the per-heartbeat expiration time (T_k).
+	Expiry time.Duration
+	// Pad is the nominal heartbeat size in bytes.
+	Pad int
+}
+
+func (a UEApp) validate() error {
+	if a.Period <= 0 || a.Expiry <= 0 {
+		return fmt.Errorf("relaynet: app %q period/expiry must be positive (%v/%v)",
+			a.Name, a.Period, a.Expiry)
+	}
+	return nil
+}
+
+// UEClientConfig parameterizes a UE client.
+type UEClientConfig struct {
+	// ID is the device id.
+	ID string
+	// App names the primary heartbeat-producing app.
+	App string
+	// Period is the primary app's heartbeat interval.
+	Period time.Duration
+	// Expiry is the primary app's per-heartbeat expiration time (T_k).
+	Expiry time.Duration
+	// Pad is the primary app's nominal heartbeat size in bytes.
+	Pad int
+	// ExtraApps registers additional apps on the same device, each with
+	// its own heartbeat loop sharing the relay link and fallback path.
+	ExtraApps []UEApp
+	// RelayAddr is the relay's UE-side address. Empty means direct mode.
+	RelayAddr string
+	// FallbackRelayAddrs are additional relays tried in order when
+	// RelayAddr is unreachable — the real-stack analog of the simulator's
+	// nearest-relay matching with failover.
+	FallbackRelayAddrs []string
+	// ServerAddr is the presence server, used directly when no relay is
+	// configured or as the fallback path.
+	ServerAddr string
+	// FeedbackTimeout is how long to wait for relay feedback before
+	// resending directly. Zero selects Expiry plus a small grace.
+	FeedbackTimeout time.Duration
+	// Tracer receives structured events when non-nil (AtMs is Unix ms).
+	Tracer trace.Tracer
+}
+
+func (c UEClientConfig) validate() error {
+	if c.ID == "" {
+		return errors.New("relaynet: empty ue id")
+	}
+	if c.Period <= 0 || c.Expiry <= 0 {
+		return fmt.Errorf("relaynet: period/expiry must be positive (%v/%v)", c.Period, c.Expiry)
+	}
+	for _, a := range c.ExtraApps {
+		if err := a.validate(); err != nil {
+			return err
+		}
+	}
+	if c.ServerAddr == "" {
+		return errors.New("relaynet: empty server address")
+	}
+	return nil
+}
+
+// apps returns every registered app, primary first.
+func (c UEClientConfig) apps() []UEApp {
+	apps := make([]UEApp, 0, 1+len(c.ExtraApps))
+	apps = append(apps, UEApp{Name: c.App, Period: c.Period, Expiry: c.Expiry, Pad: c.Pad})
+	apps = append(apps, c.ExtraApps...)
+	return apps
+}
+
+// UEClientStats aggregates a UE client's behaviour.
+type UEClientStats struct {
+	Generated       int
+	ViaRelay        int
+	Direct          int
+	FallbackResends int
+	FeedbackAcks    int
+	// RelayReconnects counts successful relay (re)connections, including
+	// the initial one.
+	RelayReconnects int
+}
+
+// UEClient periodically emits heartbeats, forwarding them through a relay
+// when one is reachable and falling back to the server on feedback
+// timeout.
+type UEClient struct {
+	cfg UEClientConfig
+
+	mu      sync.Mutex
+	relay   net.Conn
+	direct  net.Conn
+	stats   UEClientStats
+	pending map[uint64]*time.Timer
+	seq     uint64
+	started bool
+	closed  bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewUEClient returns an unstarted client.
+func NewUEClient(cfg UEClientConfig) (*UEClient, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &UEClient{
+		cfg:     cfg,
+		pending: make(map[uint64]*time.Timer),
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// Start begins the heartbeat loop. The first heartbeat goes out
+// immediately.
+func (u *UEClient) Start() error {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.started {
+		return errors.New("relaynet: ue already started")
+	}
+	u.started = true
+	u.mu.Unlock()
+	u.dialRelay()
+	u.mu.Lock()
+	for _, app := range u.cfg.apps() {
+		app := app
+		u.wg.Add(1)
+		go u.loop(app)
+	}
+	return nil
+}
+
+// dialRelay attempts to (re)establish a relay connection, trying the
+// primary address and then each fallback in order. It is called at startup
+// and again before any heartbeat that finds the relay link down — the
+// real-time analog of the simulator UE re-scanning for relays each period.
+func (u *UEClient) dialRelay() {
+	if u.cfg.RelayAddr == "" && len(u.cfg.FallbackRelayAddrs) == 0 {
+		return
+	}
+	u.mu.Lock()
+	if u.closed || u.relay != nil {
+		u.mu.Unlock()
+		return
+	}
+	u.mu.Unlock()
+
+	addrs := make([]string, 0, 1+len(u.cfg.FallbackRelayAddrs))
+	if u.cfg.RelayAddr != "" {
+		addrs = append(addrs, u.cfg.RelayAddr)
+	}
+	addrs = append(addrs, u.cfg.FallbackRelayAddrs...)
+	for _, addr := range addrs {
+		if u.dialOneRelay(addr) {
+			return
+		}
+	}
+}
+
+// dialOneRelay tries a single relay address; it returns true on success.
+func (u *UEClient) dialOneRelay(addr string) bool {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return false
+	}
+	if err := hbproto.WriteFrame(conn, &hbproto.Register{
+		ID: u.cfg.ID, Role: hbproto.RoleUE, App: u.cfg.App,
+		Period: u.cfg.Period, Expiry: u.cfg.Expiry,
+	}); err != nil {
+		_ = conn.Close()
+		return false
+	}
+	u.mu.Lock()
+	if u.closed || u.relay != nil {
+		u.mu.Unlock()
+		_ = conn.Close()
+		return u.relay != nil
+	}
+	u.relay = conn
+	u.stats.RelayReconnects++
+	u.wg.Add(1)
+	u.mu.Unlock()
+	go u.relayReader(conn)
+	return true
+}
+
+// Stats returns a snapshot of the counters.
+func (u *UEClient) Stats() UEClientStats {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.stats
+}
+
+// Shutdown stops the loop and closes connections.
+func (u *UEClient) Shutdown() {
+	u.mu.Lock()
+	if u.closed || !u.started {
+		u.mu.Unlock()
+		return
+	}
+	u.closed = true
+	close(u.done)
+	for _, t := range u.pending {
+		t.Stop()
+	}
+	if u.relay != nil {
+		_ = u.relay.Close()
+	}
+	if u.direct != nil {
+		_ = u.direct.Close()
+	}
+	u.mu.Unlock()
+	u.wg.Wait()
+}
+
+func (u *UEClient) feedbackTimeout(expiry time.Duration) time.Duration {
+	if u.cfg.FeedbackTimeout > 0 {
+		return u.cfg.FeedbackTimeout
+	}
+	return expiry + expiry/10
+}
+
+// nextSeq allocates a device-wide sequence number (shared across apps so
+// feedback refs stay unambiguous).
+func (u *UEClient) nextSeq() uint64 {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.seq++
+	return u.seq
+}
+
+// loop runs one app's heartbeat schedule.
+func (u *UEClient) loop(app UEApp) {
+	defer u.wg.Done()
+	ticker := time.NewTicker(app.Period)
+	defer ticker.Stop()
+	u.sendHeartbeat(u.nextSeq(), app)
+	for {
+		select {
+		case <-u.done:
+			return
+		case <-ticker.C:
+			u.sendHeartbeat(u.nextSeq(), app)
+		}
+	}
+}
+
+func (u *UEClient) sendHeartbeat(seq uint64, app UEApp) {
+	hb := &hbproto.Heartbeat{
+		Src: u.cfg.ID, Seq: seq, App: app.Name,
+		Origin: time.Now(), Expiry: app.Expiry, Pad: app.Pad,
+	}
+	u.mu.Lock()
+	u.stats.Generated++
+	relay := u.relay
+	u.mu.Unlock()
+	trace.Emit(u.cfg.Tracer, trace.Event{
+		AtMs: hb.Origin.UnixMilli(), Device: u.cfg.ID, Kind: trace.KindGenerated,
+		App: hb.App, Seq: hb.Seq,
+	})
+	if relay == nil {
+		// The relay link is down (or never came up): try to re-match
+		// before falling back to the direct path.
+		u.dialRelay()
+		u.mu.Lock()
+		relay = u.relay
+		u.mu.Unlock()
+	}
+
+	if relay != nil {
+		// Register the pending entry before transmitting: on loopback the
+		// relay may flush, get the server ack and send feedback faster
+		// than this goroutine would otherwise arm the timer.
+		u.mu.Lock()
+		if !u.closed {
+			u.pending[seq] = time.AfterFunc(u.feedbackTimeout(app.Expiry), func() {
+				u.onFeedbackTimeout(seq, hb)
+			})
+		}
+		u.mu.Unlock()
+		if err := hbproto.WriteFrame(relay, hb); err == nil {
+			trace.Emit(u.cfg.Tracer, trace.Event{
+				AtMs: time.Now().UnixMilli(), Device: u.cfg.ID, Kind: trace.KindD2DSend,
+				App: hb.App, Seq: hb.Seq,
+			})
+			u.mu.Lock()
+			u.stats.ViaRelay++
+			u.mu.Unlock()
+			return
+		}
+		// The relay link is dead: cancel the pending entry, drop the link
+		// and fall through to direct.
+		u.mu.Lock()
+		if t, ok := u.pending[seq]; ok {
+			t.Stop()
+			delete(u.pending, seq)
+		}
+		u.relay = nil
+		u.mu.Unlock()
+		_ = relay.Close()
+	}
+	u.sendDirect(hb, false)
+}
+
+// sendDirect transmits straight to the server, lazily maintaining one
+// direct connection.
+func (u *UEClient) sendDirect(hb *hbproto.Heartbeat, fallback bool) {
+	u.mu.Lock()
+	conn := u.direct
+	u.mu.Unlock()
+	if conn == nil {
+		var err error
+		conn, err = net.Dial("tcp", u.cfg.ServerAddr)
+		if err != nil {
+			return
+		}
+		u.mu.Lock()
+		if u.closed {
+			u.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		u.direct = conn
+		u.mu.Unlock()
+		u.wg.Add(1)
+		go u.directReader(conn)
+	}
+	if err := hbproto.WriteFrame(conn, hb); err != nil {
+		u.mu.Lock()
+		u.direct = nil
+		u.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	kind := trace.KindDirectSend
+	if fallback {
+		kind = trace.KindFallback
+	}
+	trace.Emit(u.cfg.Tracer, trace.Event{
+		AtMs: time.Now().UnixMilli(), Device: u.cfg.ID, Kind: kind,
+		App: hb.App, Seq: hb.Seq,
+	})
+	u.mu.Lock()
+	if fallback {
+		u.stats.FallbackResends++
+	} else {
+		u.stats.Direct++
+	}
+	u.mu.Unlock()
+}
+
+// onFeedbackTimeout fires when the relay never confirmed delivery: resend
+// directly over "cellular".
+func (u *UEClient) onFeedbackTimeout(seq uint64, hb *hbproto.Heartbeat) {
+	u.mu.Lock()
+	_, ok := u.pending[seq]
+	if ok {
+		delete(u.pending, seq)
+	}
+	closed := u.closed
+	u.mu.Unlock()
+	if !ok || closed {
+		return
+	}
+	u.sendDirect(hb, true)
+}
+
+// relayReader consumes feedback from the relay.
+func (u *UEClient) relayReader(conn net.Conn) {
+	defer u.wg.Done()
+	for {
+		msg, err := hbproto.ReadFrame(conn)
+		if err != nil {
+			u.mu.Lock()
+			if u.relay == conn {
+				u.relay = nil
+			}
+			u.mu.Unlock()
+			return
+		}
+		fb, ok := msg.(*hbproto.Feedback)
+		if !ok {
+			continue
+		}
+		u.mu.Lock()
+		for _, ref := range fb.Refs {
+			if ref.Src != u.cfg.ID {
+				continue
+			}
+			if t, ok := u.pending[ref.Seq]; ok {
+				t.Stop()
+				delete(u.pending, ref.Seq)
+				u.stats.FeedbackAcks++
+				trace.Emit(u.cfg.Tracer, trace.Event{
+					AtMs: time.Now().UnixMilli(), Device: u.cfg.ID,
+					Kind: trace.KindAck, Seq: ref.Seq,
+				})
+			}
+		}
+		u.mu.Unlock()
+	}
+}
+
+// directReader drains server acks on the direct connection.
+func (u *UEClient) directReader(conn net.Conn) {
+	defer u.wg.Done()
+	for {
+		if _, err := hbproto.ReadFrame(conn); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"d2dhb/internal/hbmsg"
+)
+
+// Immediate is the no-batching baseline: every forwarded heartbeat is sent
+// in its own cellular connection as soon as it arrives. It models a naive
+// relay without the scheduling strategy — the configuration the paper warns
+// "would consume more energy than the original system and lose the
+// signaling-saving feature" (Section III-C).
+type Immediate struct {
+	periodStart time.Duration
+	period      time.Duration
+	pending     []hbmsg.Heartbeat
+	closed      bool
+}
+
+var _ Policy = (*Immediate)(nil)
+
+// NewImmediate builds the immediate-send baseline with the relay heartbeat
+// period T (used only to bound the collection window).
+func NewImmediate(period time.Duration) (*Immediate, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("sched: period must be positive, got %v", period)
+	}
+	return &Immediate{period: period, closed: true}, nil
+}
+
+// Kind implements Policy.
+func (p *Immediate) Kind() Kind { return KindImmediate }
+
+// StartPeriod implements Policy.
+func (p *Immediate) StartPeriod(at time.Duration) {
+	p.periodStart = at
+	p.pending = p.pending[:0]
+	p.closed = false
+}
+
+// Collect implements Policy: always flush now.
+func (p *Immediate) Collect(hb hbmsg.Heartbeat, now time.Duration) (bool, error) {
+	if p.closed {
+		return false, ErrClosed
+	}
+	if hb.Expired(now) {
+		return false, ErrExpired
+	}
+	p.pending = append(p.pending, hb)
+	return true, nil
+}
+
+// Deadline implements Policy: the relay's own heartbeat still goes out at
+// the period end.
+func (p *Immediate) Deadline() (time.Duration, bool) {
+	if p.closed {
+		return 0, false
+	}
+	return p.periodStart + p.period, true
+}
+
+// Flush implements Policy. Unlike Nagle, flushing does not close the window:
+// the relay keeps accepting (and immediately sending) messages all period.
+func (p *Immediate) Flush(time.Duration) []hbmsg.Heartbeat {
+	out := p.pending
+	p.pending = nil
+	return out
+}
+
+// Pending implements Policy.
+func (p *Immediate) Pending() int { return len(p.pending) }
+
+// Accepting implements Policy.
+func (p *Immediate) Accepting() bool { return !p.closed }
+
+// FixedDelay is a timeout-batching baseline: the batch is flushed a fixed
+// delay after its first message, ignoring per-message expiration times. It
+// demonstrates why Algorithm 1's T_k constraint matters: with tight
+// expiries a fixed delay silently lets messages die.
+type FixedDelay struct {
+	delay       time.Duration
+	period      time.Duration
+	periodStart time.Duration
+	firstAt     time.Duration
+	pending     []hbmsg.Heartbeat
+	closed      bool
+}
+
+var _ Policy = (*FixedDelay)(nil)
+
+// NewFixedDelay builds the fixed-delay baseline.
+func NewFixedDelay(delay, period time.Duration) (*FixedDelay, error) {
+	if delay <= 0 {
+		return nil, fmt.Errorf("sched: delay must be positive, got %v", delay)
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("sched: period must be positive, got %v", period)
+	}
+	return &FixedDelay{delay: delay, period: period, closed: true}, nil
+}
+
+// Kind implements Policy.
+func (p *FixedDelay) Kind() Kind { return KindFixedDelay }
+
+// StartPeriod implements Policy.
+func (p *FixedDelay) StartPeriod(at time.Duration) {
+	p.periodStart = at
+	p.pending = p.pending[:0]
+	p.closed = false
+	p.firstAt = -1
+}
+
+// Collect implements Policy.
+func (p *FixedDelay) Collect(hb hbmsg.Heartbeat, now time.Duration) (bool, error) {
+	if p.closed {
+		return false, ErrClosed
+	}
+	if hb.Expired(now) {
+		return false, ErrExpired
+	}
+	if len(p.pending) == 0 {
+		p.firstAt = now
+	}
+	p.pending = append(p.pending, hb)
+	return false, nil
+}
+
+// Deadline implements Policy: first arrival + delay, capped by the period
+// end — but deliberately not by per-message expiries.
+func (p *FixedDelay) Deadline() (time.Duration, bool) {
+	if p.closed {
+		return 0, false
+	}
+	end := p.periodStart + p.period
+	if len(p.pending) == 0 {
+		return end, true
+	}
+	at := p.firstAt + p.delay
+	if at > end {
+		at = end
+	}
+	return at, true
+}
+
+// Flush implements Policy.
+func (p *FixedDelay) Flush(time.Duration) []hbmsg.Heartbeat {
+	if p.closed {
+		return nil
+	}
+	out := p.pending
+	p.pending = nil
+	p.closed = true
+	return out
+}
+
+// Pending implements Policy.
+func (p *FixedDelay) Pending() int { return len(p.pending) }
+
+// Accepting implements Policy.
+func (p *FixedDelay) Accepting() bool { return !p.closed }
+
+// PeriodAligned always waits for the relay's own heartbeat at the period
+// end, maximizing batching but ignoring both capacity and expiration
+// times — the opposite failure mode from Immediate.
+type PeriodAligned struct {
+	period      time.Duration
+	periodStart time.Duration
+	pending     []hbmsg.Heartbeat
+	closed      bool
+}
+
+var _ Policy = (*PeriodAligned)(nil)
+
+// NewPeriodAligned builds the period-aligned baseline.
+func NewPeriodAligned(period time.Duration) (*PeriodAligned, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("sched: period must be positive, got %v", period)
+	}
+	return &PeriodAligned{period: period, closed: true}, nil
+}
+
+// Kind implements Policy.
+func (p *PeriodAligned) Kind() Kind { return KindPeriodAligned }
+
+// StartPeriod implements Policy.
+func (p *PeriodAligned) StartPeriod(at time.Duration) {
+	p.periodStart = at
+	p.pending = p.pending[:0]
+	p.closed = false
+}
+
+// Collect implements Policy.
+func (p *PeriodAligned) Collect(hb hbmsg.Heartbeat, now time.Duration) (bool, error) {
+	if p.closed {
+		return false, ErrClosed
+	}
+	if hb.Expired(now) {
+		return false, ErrExpired
+	}
+	p.pending = append(p.pending, hb)
+	return false, nil
+}
+
+// Deadline implements Policy: always the period end.
+func (p *PeriodAligned) Deadline() (time.Duration, bool) {
+	if p.closed {
+		return 0, false
+	}
+	return p.periodStart + p.period, true
+}
+
+// Flush implements Policy.
+func (p *PeriodAligned) Flush(time.Duration) []hbmsg.Heartbeat {
+	if p.closed {
+		return nil
+	}
+	out := p.pending
+	p.pending = nil
+	p.closed = true
+	return out
+}
+
+// Pending implements Policy.
+func (p *PeriodAligned) Pending() int { return len(p.pending) }
+
+// Accepting implements Policy.
+func (p *PeriodAligned) Accepting() bool { return !p.closed }
+
+// New builds a policy of the given kind with the relay period T. capacity
+// applies to KindNagle; delay applies to KindFixedDelay.
+func New(kind Kind, capacity int, period, delay time.Duration) (Policy, error) {
+	switch kind {
+	case KindNagle:
+		return NewNagle(capacity, period)
+	case KindImmediate:
+		return NewImmediate(period)
+	case KindFixedDelay:
+		return NewFixedDelay(delay, period)
+	case KindPeriodAligned:
+		return NewPeriodAligned(period)
+	default:
+		return nil, fmt.Errorf("sched: unknown policy kind %d", int(kind))
+	}
+}

@@ -1,0 +1,186 @@
+// Package simtime provides a deterministic discrete-event simulation kernel.
+//
+// A Scheduler owns a virtual clock and an event queue. Events scheduled for
+// the same instant fire in scheduling order, which — together with a seeded
+// random source — makes every simulation run reproducible.
+package simtime
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ErrStopped is returned by Run variants when the scheduler was stopped
+// explicitly before the queue drained or the horizon was reached.
+var ErrStopped = errors.New("simtime: scheduler stopped")
+
+// Timer is a handle to a scheduled event. A Timer is owned by the Scheduler
+// that created it and must not be shared across schedulers.
+type Timer struct {
+	at      time.Duration
+	seq     uint64
+	index   int // index in the heap, -1 when fired or stopped
+	fn      func()
+	stopped bool
+}
+
+// At reports the virtual instant the timer fires at.
+func (t *Timer) At() time.Duration { return t.at }
+
+// Stopped reports whether the timer was cancelled before firing.
+func (t *Timer) Stopped() bool { return t.stopped }
+
+// Scheduler is a single-threaded discrete-event scheduler with a virtual
+// clock that starts at zero. It is not safe for concurrent use; the entire
+// simulation runs on the caller's goroutine.
+type Scheduler struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+}
+
+// NewScheduler returns a scheduler whose random source is seeded with seed.
+// The same seed always yields the same event interleaving and random draws.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time (elapsed since simulation start).
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Rand exposes the scheduler's deterministic random source.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// Fired reports how many events have executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// Pending reports how many events are queued.
+func (s *Scheduler) Pending() int { return s.queue.Len() }
+
+// At schedules fn to run at the absolute virtual instant at. Scheduling in
+// the past (before Now) is rejected with an error: in a discrete-event model
+// there is no way to execute an event at an instant that has already been
+// processed.
+func (s *Scheduler) At(at time.Duration, fn func()) (*Timer, error) {
+	if fn == nil {
+		return nil, errors.New("simtime: nil event function")
+	}
+	if at < s.now {
+		return nil, fmt.Errorf("simtime: schedule at %v is before now %v", at, s.now)
+	}
+	t := &Timer{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, t)
+	return t, nil
+}
+
+// After schedules fn to run d after the current virtual time. Negative d is
+// treated as zero so callers can pass computed deltas without clamping.
+func (s *Scheduler) After(d time.Duration, fn func()) (*Timer, error) {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Stop cancels a pending timer. It returns true if the timer was pending and
+// is now cancelled, false if it already fired or was already stopped.
+func (s *Scheduler) Stop(t *Timer) bool {
+	if t == nil || t.stopped || t.index < 0 {
+		return false
+	}
+	heap.Remove(&s.queue, t.index)
+	t.stopped = true
+	t.index = -1
+	return true
+}
+
+// Step executes the next pending event, advancing the clock to its instant.
+// It returns false when the queue is empty.
+func (s *Scheduler) Step() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	t, _ := heap.Pop(&s.queue).(*Timer)
+	s.now = t.at
+	t.index = -1
+	s.fired++
+	t.fn()
+	return true
+}
+
+// Run executes events until the queue drains or StopRun is called. It
+// returns ErrStopped in the latter case.
+func (s *Scheduler) Run() error {
+	s.stopped = false
+	for s.Step() {
+		if s.stopped {
+			return ErrStopped
+		}
+	}
+	return nil
+}
+
+// RunUntil executes events whose instant is <= horizon, then advances the
+// clock to horizon exactly. Events scheduled beyond the horizon remain
+// queued. It returns ErrStopped if StopRun interrupted the run.
+func (s *Scheduler) RunUntil(horizon time.Duration) error {
+	if horizon < s.now {
+		return fmt.Errorf("simtime: horizon %v is before now %v", horizon, s.now)
+	}
+	s.stopped = false
+	for s.queue.Len() > 0 && s.queue[0].at <= horizon {
+		s.Step()
+		if s.stopped {
+			return ErrStopped
+		}
+	}
+	s.now = horizon
+	return nil
+}
+
+// StopRun makes the innermost Run/RunUntil return after the current event
+// finishes. It is intended to be called from inside an event function.
+func (s *Scheduler) StopRun() { s.stopped = true }
+
+// eventQueue is a min-heap ordered by (at, seq) so that simultaneous events
+// fire in scheduling order.
+type eventQueue []*Timer
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	t, _ := x.(*Timer)
+	t.index = len(*q)
+	*q = append(*q, t)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return t
+}

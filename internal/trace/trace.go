@@ -1,0 +1,152 @@
+// Package trace provides structured event tracing for simulation runs:
+// every load-bearing action (heartbeat generation, D2D forward, collection,
+// flush, feedback, fallback, delivery) can be emitted as one JSON line,
+// giving post-hoc visibility into exactly how a scenario unfolded.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Kind labels one event type.
+type Kind string
+
+// Event kinds emitted by the framework.
+const (
+	KindGenerated  Kind = "hb-generated" // UE produced a heartbeat
+	KindD2DSend    Kind = "d2d-send"     // UE forwarded over D2D
+	KindD2DFail    Kind = "d2d-fail"     // D2D transfer failed
+	KindRelayBusy  Kind = "relay-busy"   // relay advertised a closed window
+	KindDirectSend Kind = "direct-send"  // UE sent straight over cellular
+	KindFallback   Kind = "fallback"     // feedback timeout → duplicate send
+	KindAck        Kind = "ack"          // UE received feedback
+	KindMatch      Kind = "match"        // UE connected to a relay
+	KindMatchFail  Kind = "match-fail"   // discovery found no usable relay
+	KindCollect    Kind = "collect"      // relay accepted a forwarded heartbeat
+	KindReject     Kind = "reject"       // relay refused (closed/expired)
+	KindFlush      Kind = "flush"        // relay transmitted a batch
+	KindDelivery   Kind = "delivery"     // heartbeat observed at the network
+	KindStop       Kind = "stop"         // device stopped
+)
+
+// Event is one trace record. Zero-valued optional fields are omitted from
+// the JSON encoding.
+type Event struct {
+	// AtMs is the virtual time in milliseconds since simulation start.
+	AtMs int64 `json:"atMs"`
+	// Device is the acting device.
+	Device string `json:"device"`
+	// Kind labels the action.
+	Kind Kind `json:"kind"`
+	// App and Seq identify the heartbeat involved, if any.
+	App string `json:"app,omitempty"`
+	Seq uint64 `json:"seq,omitempty"`
+	// Peer is the other device involved (relay for a forward, source for
+	// a collection).
+	Peer string `json:"peer,omitempty"`
+	// N is a count (batch size for a flush).
+	N int `json:"n,omitempty"`
+	// Reason annotates rejections, flush triggers and failures.
+	Reason string `json:"reason,omitempty"`
+	// OnTime reports delivery punctuality.
+	OnTime bool `json:"onTime,omitempty"`
+}
+
+// Tracer consumes events. Implementations must be safe for use from a
+// single simulation goroutine; the JSONL writer additionally locks so the
+// real-time stack can share one.
+type Tracer interface {
+	Emit(ev Event)
+}
+
+// Emit sends ev to tr if tr is non-nil; call sites stay one-liners.
+func Emit(tr Tracer, ev Event) {
+	if tr != nil {
+		tr.Emit(ev)
+	}
+}
+
+// At converts a virtual instant to the wire representation.
+func At(d time.Duration) int64 { return d.Milliseconds() }
+
+// JSONL writes one JSON object per line.
+type JSONL struct {
+	mu   sync.Mutex
+	enc  *json.Encoder
+	errs int
+	n    int
+}
+
+var _ Tracer = (*JSONL)(nil)
+
+// NewJSONL builds a JSONL tracer over w.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w)}
+}
+
+// Emit implements Tracer.
+func (j *JSONL) Emit(ev Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.enc.Encode(ev); err != nil {
+		j.errs++
+		return
+	}
+	j.n++
+}
+
+// Counts returns how many events were written and how many failed to
+// encode.
+func (j *JSONL) Counts() (written, failed int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n, j.errs
+}
+
+// Recorder buffers events in memory for tests and analysis.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+var _ Tracer = (*Recorder)(nil)
+
+// Emit implements Tracer.
+func (r *Recorder) Emit(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, ev)
+}
+
+// Events returns a copy of everything recorded.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// ByKind returns the recorded events of one kind.
+func (r *Recorder) ByKind(k Kind) []Event {
+	var out []Event
+	for _, ev := range r.Events() {
+		if ev.Kind == k {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// String summarizes the recording as kind counts.
+func (r *Recorder) String() string {
+	counts := make(map[Kind]int)
+	for _, ev := range r.Events() {
+		counts[ev.Kind]++
+	}
+	return fmt.Sprintf("%v", counts)
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestJSONLWritesOneLinePerEvent(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	j.Emit(Event{AtMs: 1000, Device: "ue-1", Kind: KindGenerated, App: "WeChat", Seq: 1})
+	j.Emit(Event{AtMs: 2000, Device: "relay", Kind: KindFlush, N: 3, Reason: "deadline"})
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if first["kind"] != "hb-generated" || first["device"] != "ue-1" {
+		t.Fatalf("line 0 = %v", first)
+	}
+	// Omitted zero fields.
+	if _, ok := first["n"]; ok {
+		t.Fatal("zero N not omitted")
+	}
+	written, failed := j.Counts()
+	if written != 2 || failed != 0 {
+		t.Fatalf("counts = %d/%d", written, failed)
+	}
+}
+
+func TestEmitNilTracerIsNoop(t *testing.T) {
+	Emit(nil, Event{Kind: KindAck}) // must not panic
+}
+
+func TestRecorder(t *testing.T) {
+	var r Recorder
+	r.Emit(Event{Kind: KindAck, Seq: 1})
+	r.Emit(Event{Kind: KindFlush, N: 2})
+	r.Emit(Event{Kind: KindAck, Seq: 2})
+	if got := len(r.Events()); got != 3 {
+		t.Fatalf("events = %d, want 3", got)
+	}
+	acks := r.ByKind(KindAck)
+	if len(acks) != 2 || acks[1].Seq != 2 {
+		t.Fatalf("ByKind = %v", acks)
+	}
+	// Events returns a copy.
+	evs := r.Events()
+	evs[0].Seq = 99
+	if r.Events()[0].Seq == 99 {
+		t.Fatal("Events not a copy")
+	}
+	if !strings.Contains(r.String(), "ack") {
+		t.Fatalf("summary = %q", r.String())
+	}
+}
+
+func TestAt(t *testing.T) {
+	if got := At(1500 * time.Millisecond); got != 1500 {
+		t.Fatalf("At = %d, want 1500", got)
+	}
+}
