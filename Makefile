@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench repro examples fmt clean
+.PHONY: all build vet test race bench repro examples load fmt clean
 
 all: build vet test
 
@@ -33,6 +33,10 @@ examples:
 	$(GO) run ./examples/mobility
 	$(GO) run ./examples/multiapp
 	$(GO) run ./examples/liveproto
+
+# Short open-loop capacity run against the real stack over loopback.
+load:
+	$(GO) run ./cmd/d2dload -ues 1000 -relays 2 -duration 5s -speedup 200
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,165 @@
+// Command d2dload drives the real heartbeat stack with a massive virtual
+// fleet over loopback TCP and measures where it saturates: open-loop load
+// generation with a configurable arrival shape, per-path heartbeat→ack
+// latency quantiles, throughput and error/timeout accounting.
+//
+// Usage:
+//
+//	d2dload [-ues 1000] [-relays 2] [-relay-ratio 0.25] [-apps wechat:2,qq:1]
+//	        [-duration 10s] [-speedup 100] [-arrival steady|ramp|spike]
+//	        [-window 0] [-report 5s] [-timeout 0] [-capacity 0]
+//	        [-server host:port] [-json path]
+//
+// App profile periods are divided by -speedup so commercial multi-minute
+// heartbeat intervals compress into short runs. The final report prints as
+// a human table and as JSON (to stdout, or to -json path).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"d2dhb/internal/hbmsg"
+	"d2dhb/internal/loadgen"
+)
+
+func main() {
+	var (
+		ues        = flag.Int("ues", 1000, "fleet size (virtual UEs)")
+		relays     = flag.Int("relays", 2, "relay agent count (0 disables relaying)")
+		relayRatio = flag.Float64("relay-ratio", 0.25, "fraction of the fleet forwarding via relays")
+		apps       = flag.String("apps", "wechat,whatsapp,qq,facebook", "app profile mix, name[:weight] comma-separated")
+		duration   = flag.Duration("duration", 10*time.Second, "load-offering duration (excludes drain)")
+		speedup    = flag.Float64("speedup", 100, "divide app heartbeat periods by this factor")
+		arrival    = flag.String("arrival", "steady", "fleet arrival shape: steady, ramp or spike")
+		window     = flag.Duration("window", 0, "arrival window (0 = auto per shape)")
+		report     = flag.Duration("report", 5*time.Second, "interim report interval (0 disables)")
+		timeout    = flag.Duration("timeout", 0, "ack timeout before a heartbeat counts lost (0 = auto)")
+		capacity   = flag.Int("capacity", 0, "relay per-period collection capacity M (0 = auto)")
+		server     = flag.String("server", "", "external presence server address (default: in-process)")
+		jsonPath   = flag.String("json", "", "write the final JSON report to this file instead of stdout")
+	)
+	flag.Parse()
+	if err := run(*ues, *relays, *relayRatio, *apps, *duration, *speedup,
+		*arrival, *window, *report, *timeout, *capacity, *server, *jsonPath); err != nil {
+		fmt.Fprintln(os.Stderr, "d2dload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ues, relays int, relayRatio float64, apps string, duration time.Duration,
+	speedup float64, arrival string, window, report, timeout time.Duration,
+	capacity int, server, jsonPath string) error {
+	raiseFDLimit()
+	shape, err := loadgen.ParseArrivalShape(arrival)
+	if err != nil {
+		return err
+	}
+	profiles, err := parseAppMix(apps)
+	if err != nil {
+		return err
+	}
+	cfg := loadgen.Config{
+		UEs:           ues,
+		Relays:        relays,
+		RelayRatio:    relayRatio,
+		Profiles:      profiles,
+		Speedup:       speedup,
+		Duration:      duration,
+		Arrival:       loadgen.Schedule{Shape: shape, Window: window},
+		AckTimeout:    timeout,
+		RelayCapacity: capacity,
+		ReportEvery:   report,
+		ServerAddr:    server,
+	}
+	if report > 0 {
+		cfg.OnReport = func(rep loadgen.Report) {
+			fmt.Printf("[%5.1fs] %.1f hb/s acked, sent=%d acked=%d timeouts=%d errors=%d, p99=%.1fms\n",
+				rep.ElapsedSec, rep.ThroughputHBps, rep.Sent, rep.Acked,
+				rep.Timeouts, rep.Errors, rep.Overall.P99Ms)
+		}
+	}
+	r, err := loadgen.New(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("d2dload: %d UEs (%d relays, ratio %.2f), %s arrival, %v at %gx speedup\n",
+		ues, relays, relayRatio, shape, duration, speedup)
+	rep, err := r.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(rep.String())
+	js, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		if err := os.WriteFile(jsonPath, append(js, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nJSON report written to %s\n", jsonPath)
+		return nil
+	}
+	fmt.Printf("\n%s\n", js)
+	return nil
+}
+
+// profileByName maps CLI names to hbmsg profiles.
+func profileByName(name string) (hbmsg.AppProfile, error) {
+	switch strings.ToLower(name) {
+	case "wechat":
+		return hbmsg.WeChat(), nil
+	case "whatsapp":
+		return hbmsg.WhatsApp(), nil
+	case "qq":
+		return hbmsg.QQ(), nil
+	case "facebook":
+		return hbmsg.Facebook(), nil
+	case "diagnostics":
+		return hbmsg.Diagnostics(), nil
+	case "adrefresh":
+		return hbmsg.AdRefresh(), nil
+	case "standard", "std":
+		return hbmsg.StandardHeartbeat(), nil
+	default:
+		return hbmsg.AppProfile{}, fmt.Errorf("unknown app profile %q", name)
+	}
+}
+
+// parseAppMix expands "wechat:2,qq:1" into a weighted profile list (the
+// fleet assigns profiles round-robin, so repetition is weighting).
+func parseAppMix(s string) ([]hbmsg.AppProfile, error) {
+	var out []hbmsg.AppProfile
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weight := part, 1
+		if i := strings.IndexByte(part, ':'); i >= 0 {
+			name = part[:i]
+			w, err := strconv.Atoi(part[i+1:])
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("bad app weight in %q", part)
+			}
+			weight = w
+		}
+		p, err := profileByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < weight; i++ {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty app mix %q", s)
+	}
+	return out, nil
+}

@@ -1,0 +1,6 @@
+//go:build !unix
+
+package main
+
+// raiseFDLimit is a no-op where rlimits don't exist.
+func raiseFDLimit() {}

@@ -1,0 +1,20 @@
+//go:build unix
+
+package main
+
+import "syscall"
+
+// raiseFDLimit lifts the soft open-file limit to the hard limit: a
+// 5000-UE fleet plus the in-process server needs two descriptors per
+// connection, which overruns the common 1024 default immediately.
+func raiseFDLimit() {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return
+	}
+	if lim.Cur >= lim.Max {
+		return
+	}
+	lim.Cur = lim.Max
+	_ = syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim)
+}

@@ -1,0 +1,56 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"d2dhb/internal/hbmsg"
+)
+
+// The capacity benchmarks are smoke-sized macro-benchmarks: each iteration
+// runs a short real fleet over loopback TCP and reports acked throughput and
+// tail latency as custom metrics. They are deliberately small (sub-second
+// fleets) so `go test -bench` stays CI-safe; use cmd/d2dload for real
+// capacity measurement.
+
+func benchFleet(b *testing.B, cfg Config) {
+	b.Helper()
+	var hbps, p99 float64
+	for i := 0; i < b.N; i++ {
+		r, err := New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := r.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Errors > 0 || rep.Sent == 0 {
+			b.Fatalf("degenerate run: %+v", rep)
+		}
+		hbps += rep.ThroughputHBps
+		p99 += rep.Overall.P99Ms
+	}
+	b.ReportMetric(hbps/float64(b.N), "hb/s")
+	b.ReportMetric(p99/float64(b.N), "p99-ms")
+	b.ReportMetric(0, "ns/op") // wall-clock per op is not the figure of merit
+}
+
+func BenchmarkCapacityDirect(b *testing.B) {
+	benchFleet(b, Config{
+		UEs:      60,
+		Profiles: []hbmsg.AppProfile{fastProfile(40 * time.Millisecond)},
+		Duration: 400 * time.Millisecond,
+	})
+}
+
+func BenchmarkCapacityRelayed(b *testing.B) {
+	benchFleet(b, Config{
+		UEs:        60,
+		Relays:     2,
+		RelayRatio: 0.5,
+		Profiles:   []hbmsg.AppProfile{fastProfile(80 * time.Millisecond)},
+		Duration:   600 * time.Millisecond,
+		AckTimeout: 3 * time.Second,
+	})
+}

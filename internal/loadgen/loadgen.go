@@ -1,0 +1,576 @@
+package loadgen
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"d2dhb/internal/hbmsg"
+	"d2dhb/internal/hbproto"
+	"d2dhb/internal/relaynet"
+	"d2dhb/internal/trace"
+)
+
+// Config parameterizes one load-generation run.
+type Config struct {
+	// UEs is the fleet size (virtual UE count).
+	UEs int
+	// Relays is how many real relay agents to run. Zero disables relaying.
+	Relays int
+	// RelayRatio is the fraction of the fleet forwarding through relays;
+	// the rest heartbeat directly to the server. Ignored when Relays is 0.
+	RelayRatio float64
+	// Profiles is the app mix, assigned round-robin across the fleet.
+	// Repeat a profile to weight it. Empty selects hbmsg.Apps().
+	Profiles []hbmsg.AppProfile
+	// Speedup divides every profile period/expiry so commercial multi-minute
+	// heartbeat intervals compress into measurable runs. Zero means 1.
+	Speedup float64
+	// Duration is how long load is offered (excludes the drain phase).
+	Duration time.Duration
+	// Arrival shapes fleet activation.
+	Arrival Schedule
+	// AckTimeout is how long an unacknowledged heartbeat waits before it is
+	// counted lost. Zero selects 2×max period + 500 ms (min 2 s).
+	AckTimeout time.Duration
+	// RelayCapacity overrides each relay's per-period collection capacity
+	// M. Zero sizes it generously from the assigned fleet share.
+	RelayCapacity int
+	// ReportEvery emits a cumulative Report through OnReport at this
+	// interval. Zero disables periodic reports.
+	ReportEvery time.Duration
+	// OnReport receives periodic (and not the final) reports.
+	OnReport func(Report)
+	// ServerAddr targets an existing presence server. Empty spawns an
+	// in-process relaynet.Server on loopback, whose stats land in the
+	// report.
+	ServerAddr string
+	// Tracer is attached to the spawned server and relays when non-nil.
+	Tracer trace.Tracer
+	// HistShards sets the latency histogram shard count. Zero selects 8.
+	HistShards int
+}
+
+func (c Config) validate() error {
+	if c.UEs <= 0 {
+		return fmt.Errorf("loadgen: UEs must be positive, got %d", c.UEs)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("loadgen: duration must be positive, got %v", c.Duration)
+	}
+	if c.Relays < 0 {
+		return fmt.Errorf("loadgen: negative relay count %d", c.Relays)
+	}
+	if c.RelayRatio < 0 || c.RelayRatio > 1 {
+		return fmt.Errorf("loadgen: relay ratio must be in [0,1], got %v", c.RelayRatio)
+	}
+	if c.Speedup < 0 {
+		return fmt.Errorf("loadgen: negative speedup %v", c.Speedup)
+	}
+	for _, p := range c.Profiles {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// minVirtualPeriod floors compressed heartbeat periods so an aggressive
+// speedup cannot degenerate into a busy loop.
+const minVirtualPeriod = 10 * time.Millisecond
+
+// fleetCounters is the shared per-run accounting, updated with atomics from
+// every virtual UE.
+type fleetCounters struct {
+	sentDirect, sentRelayed       atomic.Uint64
+	ackedDirect, ackedRelayed     atomic.Uint64
+	timeoutDirect, timeoutRelayed atomic.Uint64
+	dialErrors, writeErrors       atomic.Uint64
+	outOfOrderAcks                atomic.Uint64
+}
+
+// Runner drives one configured load-generation run.
+type Runner struct {
+	cfg        Config
+	server     *relaynet.Server // nil when targeting an external server
+	serverAddr string
+	relays     []*relaynet.RelayAgent
+	ues        []*vue
+	counters   fleetCounters
+	histDirect *Histogram
+	histRelay  *Histogram
+
+	ackTimeout time.Duration
+	minPeriod  time.Duration
+	maxPeriod  time.Duration
+	relayedUEs int
+}
+
+// New validates the config and prepares a runner. Nothing is started until
+// Run.
+func New(cfg Config) (*Runner, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Profiles) == 0 {
+		cfg.Profiles = hbmsg.Apps()
+	}
+	if cfg.Speedup == 0 {
+		cfg.Speedup = 1
+	}
+	if cfg.HistShards == 0 {
+		cfg.HistShards = 8
+	}
+	r := &Runner{
+		cfg:        cfg,
+		histDirect: NewHistogram(cfg.HistShards),
+		histRelay:  NewHistogram(cfg.HistShards),
+	}
+	r.minPeriod, r.maxPeriod = r.periodRange()
+	r.ackTimeout = cfg.AckTimeout
+	if r.ackTimeout <= 0 {
+		r.ackTimeout = 2*r.maxPeriod + 500*time.Millisecond
+		if r.ackTimeout < 2*time.Second {
+			r.ackTimeout = 2 * time.Second
+		}
+	}
+	if cfg.Relays > 0 {
+		r.relayedUEs = int(float64(cfg.UEs) * cfg.RelayRatio)
+	}
+	return r, nil
+}
+
+// scale compresses a duration by the configured speedup, flooring at
+// minVirtualPeriod.
+func (r *Runner) scale(d time.Duration) time.Duration {
+	s := time.Duration(float64(d) / r.cfg.Speedup)
+	if s < minVirtualPeriod {
+		s = minVirtualPeriod
+	}
+	return s
+}
+
+func (r *Runner) periodRange() (min, max time.Duration) {
+	for i, p := range r.cfg.Profiles {
+		s := time.Duration(float64(p.Period) / r.cfg.Speedup)
+		if s < minVirtualPeriod {
+			s = minVirtualPeriod
+		}
+		if i == 0 || s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return min, max
+}
+
+// Run executes the configured scenario: spawn server/relays/fleet, offer
+// load for Duration, drain in-flight heartbeats, tear everything down and
+// return the final report.
+func (r *Runner) Run() (Report, error) {
+	if err := r.startServer(); err != nil {
+		return Report{}, err
+	}
+	defer func() {
+		if r.server != nil {
+			r.server.Shutdown()
+		}
+	}()
+	if err := r.startRelays(); err != nil {
+		return Report{}, err
+	}
+	defer func() {
+		for _, ra := range r.relays {
+			ra.Shutdown()
+		}
+	}()
+
+	r.buildFleet()
+
+	genDone := make(chan struct{})
+	var sendWg, readWg sync.WaitGroup
+	start := time.Now()
+	window := r.arrivalWindow()
+	sched := Schedule{Shape: r.cfg.Arrival.Shape, Window: window}
+	for i, u := range r.ues {
+		sendWg.Add(1)
+		go u.run(genDone, sched.StartOffset(i, len(r.ues)), &sendWg, &readWg)
+	}
+
+	stopReports := make(chan struct{})
+	var repWg sync.WaitGroup
+	if r.cfg.ReportEvery > 0 && r.cfg.OnReport != nil {
+		repWg.Add(1)
+		go func() {
+			defer repWg.Done()
+			t := time.NewTicker(r.cfg.ReportEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopReports:
+					return
+				case <-t.C:
+					r.cfg.OnReport(r.snapshot(time.Since(start), false))
+				}
+			}
+		}()
+	}
+
+	time.Sleep(r.cfg.Duration)
+	close(genDone)
+	sendWg.Wait()
+	genElapsed := time.Since(start)
+	close(stopReports)
+	repWg.Wait()
+
+	r.drain()
+	for _, u := range r.ues {
+		u.close()
+	}
+	readWg.Wait()
+
+	rep := r.snapshot(genElapsed, true)
+	return rep, nil
+}
+
+// startServer spawns the in-process presence server unless an external
+// address was configured.
+func (r *Runner) startServer() error {
+	if r.cfg.ServerAddr != "" {
+		r.serverAddr = r.cfg.ServerAddr
+		return nil
+	}
+	s := relaynet.NewServer()
+	if r.cfg.Tracer != nil {
+		s.SetTracer(r.cfg.Tracer)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		return err
+	}
+	r.server = s
+	r.serverAddr = s.Addr()
+	return nil
+}
+
+func (r *Runner) startRelays() error {
+	if r.cfg.Relays == 0 || r.relayedUEs == 0 {
+		return nil
+	}
+	capacity := r.cfg.RelayCapacity
+	if capacity == 0 {
+		perRelay := (r.relayedUEs + r.cfg.Relays - 1) / r.cfg.Relays
+		capacity = perRelay*4 + 16
+	}
+	for i := 0; i < r.cfg.Relays; i++ {
+		ra, err := relaynet.NewRelayAgent(relaynet.RelayAgentConfig{
+			ID:       fmt.Sprintf("loadrelay-%d", i),
+			App:      "loadgen",
+			Period:   r.minPeriod,
+			Expiry:   r.minPeriod,
+			Pad:      54,
+			Capacity: capacity,
+			Tracer:   r.cfg.Tracer,
+		})
+		if err != nil {
+			return err
+		}
+		if err := ra.Start("127.0.0.1:0", r.serverAddr); err != nil {
+			return err
+		}
+		r.relays = append(r.relays, ra)
+	}
+	return nil
+}
+
+// buildFleet constructs every virtual UE: the first relayedUEs forward
+// through relays (round-robin), the rest go direct; profiles rotate across
+// the whole fleet.
+func (r *Runner) buildFleet() {
+	r.ues = make([]*vue, 0, r.cfg.UEs)
+	for i := 0; i < r.cfg.UEs; i++ {
+		p := r.cfg.Profiles[i%len(r.cfg.Profiles)]
+		relayed := i < r.relayedUEs && len(r.relays) > 0
+		u := &vue{
+			id:      fmt.Sprintf("loadue-%05d", i),
+			app:     p.Name,
+			period:  r.scale(p.Period),
+			expiry:  r.scale(p.Expiry()),
+			pad:     p.Size,
+			relayed: relayed,
+			timeout: r.ackTimeout,
+			c:       &r.counters,
+			pending: make(map[uint64]int64),
+		}
+		if relayed {
+			u.addr = r.relays[i%len(r.relays)].Addr()
+			u.rec = r.histRelay.Recorder()
+		} else {
+			u.addr = r.serverAddr
+			u.rec = r.histDirect.Recorder()
+		}
+		r.ues = append(r.ues, u)
+	}
+}
+
+// arrivalWindow resolves the schedule window default: one mean period for
+// steady (pure phase stagger), half the run for a ramp.
+func (r *Runner) arrivalWindow() time.Duration {
+	if r.cfg.Arrival.Window > 0 || r.cfg.Arrival.Shape == ArrivalSpike {
+		return r.cfg.Arrival.Window
+	}
+	if r.cfg.Arrival.Shape == ArrivalRamp {
+		return r.cfg.Duration / 2
+	}
+	return (r.minPeriod + r.maxPeriod) / 2
+}
+
+// drain waits for in-flight heartbeats to be acknowledged, then writes off
+// whatever is left as timeouts.
+func (r *Runner) drain() {
+	deadline := time.Now().Add(r.ackTimeout + 500*time.Millisecond)
+	for time.Now().Before(deadline) {
+		pending := 0
+		for _, u := range r.ues {
+			pending += u.pendingCount()
+		}
+		if pending == 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, u := range r.ues {
+		u.expireAll()
+	}
+}
+
+// vue is one open-loop virtual UE: it emits heartbeats on its schedule
+// regardless of outstanding acknowledgements, tracking each send until the
+// matching ack/feedback ref returns or the timeout writes it off.
+type vue struct {
+	id      string
+	app     string
+	addr    string
+	period  time.Duration
+	expiry  time.Duration
+	pad     int
+	relayed bool
+	timeout time.Duration
+	rec     *Recorder
+	c       *fleetCounters
+
+	mu      sync.Mutex
+	conn    net.Conn
+	pending map[uint64]int64 // seq → send time (UnixNano)
+	seq     uint64
+	last    uint64 // highest acknowledged seq
+	closed  bool
+}
+
+// run is the send loop: activate after the arrival offset, then heartbeat
+// every period until the run stops. Readers joined via readWg outlive the
+// send loop so the drain phase can still collect acks.
+func (u *vue) run(done <-chan struct{}, offset time.Duration, sendWg, readWg *sync.WaitGroup) {
+	defer sendWg.Done()
+	if offset > 0 {
+		select {
+		case <-done:
+			return
+		case <-time.After(offset):
+		}
+	}
+	t := time.NewTicker(u.period)
+	defer t.Stop()
+	u.tick(readWg)
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			u.tick(readWg)
+		}
+	}
+}
+
+// tick is one heartbeat interval: expire stale pendings, (re)dial if
+// needed, send one heartbeat.
+func (u *vue) tick(readWg *sync.WaitGroup) {
+	u.sweep(time.Now())
+	conn := u.ensureConn(readWg)
+	if conn == nil {
+		u.c.dialErrors.Add(1)
+		return
+	}
+	now := time.Now()
+	u.mu.Lock()
+	u.seq++
+	seq := u.seq
+	u.pending[seq] = now.UnixNano()
+	u.mu.Unlock()
+	hb := &hbproto.Heartbeat{
+		Src: u.id, Seq: seq, App: u.app,
+		Origin: now, Expiry: u.expiry, Pad: u.pad,
+	}
+	if err := hbproto.WriteFrame(conn, hb); err != nil {
+		u.c.writeErrors.Add(1)
+		u.mu.Lock()
+		delete(u.pending, seq)
+		if u.conn == conn {
+			u.conn = nil
+		}
+		u.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	if u.relayed {
+		u.c.sentRelayed.Add(1)
+	} else {
+		u.c.sentDirect.Add(1)
+	}
+}
+
+// ensureConn returns the live connection, dialing (and for relayed UEs
+// registering) when none exists.
+func (u *vue) ensureConn(readWg *sync.WaitGroup) net.Conn {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return nil
+	}
+	if u.conn != nil {
+		conn := u.conn
+		u.mu.Unlock()
+		return conn
+	}
+	u.mu.Unlock()
+
+	conn, err := net.Dial("tcp", u.addr)
+	if err != nil {
+		return nil
+	}
+	if u.relayed {
+		// Relays deliver feedback only to registered UE connections.
+		if err := hbproto.WriteFrame(conn, &hbproto.Register{
+			ID: u.id, Role: hbproto.RoleUE, App: u.app,
+			Period: u.period, Expiry: u.expiry,
+		}); err != nil {
+			_ = conn.Close()
+			return nil
+		}
+	}
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		_ = conn.Close()
+		return nil
+	}
+	u.conn = conn
+	u.mu.Unlock()
+	readWg.Add(1)
+	go u.reader(conn, readWg)
+	return conn
+}
+
+// reader matches ack/feedback refs against pending sends and records
+// latency.
+func (u *vue) reader(conn net.Conn, readWg *sync.WaitGroup) {
+	defer readWg.Done()
+	for {
+		msg, err := hbproto.ReadFrame(conn)
+		if err != nil {
+			u.mu.Lock()
+			if u.conn == conn {
+				u.conn = nil
+			}
+			u.mu.Unlock()
+			return
+		}
+		var refs []hbproto.Ref
+		switch m := msg.(type) {
+		case *hbproto.Ack:
+			refs = m.Refs
+		case *hbproto.Feedback:
+			refs = m.Refs
+		default:
+			continue
+		}
+		now := time.Now().UnixNano()
+		u.mu.Lock()
+		for _, ref := range refs {
+			if ref.Src != u.id {
+				continue
+			}
+			at, ok := u.pending[ref.Seq]
+			if !ok {
+				continue
+			}
+			delete(u.pending, ref.Seq)
+			latUS := uint64(now-at) / 1000
+			u.rec.Record(latUS)
+			if u.relayed {
+				u.c.ackedRelayed.Add(1)
+			} else {
+				u.c.ackedDirect.Add(1)
+			}
+			if ref.Seq <= u.last {
+				u.c.outOfOrderAcks.Add(1)
+			} else {
+				u.last = ref.Seq
+			}
+		}
+		u.mu.Unlock()
+	}
+}
+
+// sweep writes off pendings older than the ack timeout.
+func (u *vue) sweep(now time.Time) {
+	cutoff := now.Add(-u.timeout).UnixNano()
+	u.mu.Lock()
+	for seq, at := range u.pending {
+		if at < cutoff {
+			delete(u.pending, seq)
+			if u.relayed {
+				u.c.timeoutRelayed.Add(1)
+			} else {
+				u.c.timeoutDirect.Add(1)
+			}
+		}
+	}
+	u.mu.Unlock()
+}
+
+// pendingCount returns how many sends still await acknowledgement.
+func (u *vue) pendingCount() int {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return len(u.pending)
+}
+
+// expireAll writes off every remaining pending send (end-of-run drain).
+func (u *vue) expireAll() {
+	u.mu.Lock()
+	for seq := range u.pending {
+		delete(u.pending, seq)
+		if u.relayed {
+			u.c.timeoutRelayed.Add(1)
+		} else {
+			u.c.timeoutDirect.Add(1)
+		}
+	}
+	u.mu.Unlock()
+}
+
+// close shuts the UE's connection down; readers exit on the closed conn.
+func (u *vue) close() {
+	u.mu.Lock()
+	u.closed = true
+	conn := u.conn
+	u.conn = nil
+	u.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}

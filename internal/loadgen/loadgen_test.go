@@ -1,0 +1,211 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"d2dhb/internal/hbmsg"
+)
+
+// fastProfile is a compressed app profile for short test runs. The 3×
+// expiry mirrors commercial apps ("usually set as 3T", Section III) and
+// gives relays slack to collect under scheduler-noisy CI runs.
+func fastProfile(period time.Duration) hbmsg.AppProfile {
+	return hbmsg.AppProfile{
+		Name: "fast", Period: period, Size: 54,
+		ExpiryFactor: 3, HeartbeatShare: 0.5, DataMsgSize: 100,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{UEs: 10},
+		{UEs: -1, Duration: time.Second},
+		{UEs: 10, Duration: time.Second, RelayRatio: 1.5},
+		{UEs: 10, Duration: time.Second, Relays: -1},
+		{UEs: 10, Duration: time.Second, Speedup: -2},
+		{UEs: 10, Duration: time.Second, Profiles: []hbmsg.AppProfile{{Name: "broken"}}},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := New(Config{UEs: 1, Duration: time.Second}); err != nil {
+		t.Fatalf("minimal config rejected: %v", err)
+	}
+}
+
+func TestDirectFleetSmallRun(t *testing.T) {
+	r, err := New(Config{
+		UEs:      40,
+		Profiles: []hbmsg.AppProfile{fastProfile(80 * time.Millisecond)},
+		Duration: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Final {
+		t.Error("final report not marked final")
+	}
+	if rep.Sent == 0 {
+		t.Fatal("no heartbeats sent")
+	}
+	if rep.Acked != rep.Sent {
+		t.Fatalf("acked %d != sent %d (timeouts %d, errors %d)",
+			rep.Acked, rep.Sent, rep.Timeouts, rep.Errors)
+	}
+	if rep.Timeouts != 0 || rep.Errors != 0 || rep.OutOfOrderAcks != 0 {
+		t.Fatalf("losses on loopback: %+v", rep)
+	}
+	if rep.SentRelayed != 0 || rep.Relay != nil {
+		t.Fatal("relay traffic without relays")
+	}
+	if rep.Direct.Count != rep.Acked {
+		t.Fatalf("latency count %d != acked %d", rep.Direct.Count, rep.Acked)
+	}
+	if rep.ThroughputHBps <= 0 {
+		t.Fatal("zero throughput")
+	}
+	if rep.Server == nil || rep.Server.HeartbeatsDirect == 0 {
+		t.Fatalf("server stats missing: %+v", rep.Server)
+	}
+}
+
+func TestPeriodicReports(t *testing.T) {
+	var got []Report
+	r, err := New(Config{
+		UEs:         10,
+		Profiles:    []hbmsg.AppProfile{fastProfile(50 * time.Millisecond)},
+		Duration:    900 * time.Millisecond,
+		ReportEvery: 250 * time.Millisecond,
+		OnReport:    func(rep Report) { got = append(got, rep) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 2 {
+		t.Fatalf("got %d interim reports, want >= 2", len(got))
+	}
+	for _, rep := range got {
+		if rep.Final {
+			t.Fatal("interim report marked final")
+		}
+	}
+	if got[len(got)-1].Sent < got[0].Sent {
+		t.Fatal("cumulative counts went backwards")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	r, err := New(Config{
+		UEs:      8,
+		Profiles: []hbmsg.AppProfile{fastProfile(60 * time.Millisecond)},
+		Duration: 400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	for _, want := range []string{"final report", "delivery accounting", "heartbeat→ack latency", "server:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report text missing %q:\n%s", want, s)
+		}
+	}
+	js, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(js, &back); err != nil {
+		t.Fatalf("JSON round-trip: %v", err)
+	}
+	if back.Sent != rep.Sent || back.Overall.Count != rep.Overall.Count {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", back, rep)
+	}
+}
+
+func TestArrivalRampActivatesFleetGradually(t *testing.T) {
+	r, err := New(Config{
+		UEs:      20,
+		Profiles: []hbmsg.AppProfile{fastProfile(100 * time.Millisecond)},
+		Duration: time.Second,
+		Arrival:  Schedule{Shape: ArrivalRamp, Window: 800 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Acked != rep.Sent || rep.Sent == 0 {
+		t.Fatalf("ramp run lost heartbeats: %+v", rep)
+	}
+	// The last UE activates at 0.8 s of a 1 s run: it sends at most a
+	// couple of heartbeats while the first sends ~10, so the total is
+	// well below the all-at-once figure.
+	if max := uint64(20 * 11); rep.Sent >= max {
+		t.Fatalf("sent %d, expected ramp to shed early load (< %d)", rep.Sent, max)
+	}
+}
+
+// TestConcurrentFleetStress is the concurrent-fleet stress test: ≥200 UEs
+// plus several relays over loopback, run under -race in CI, asserting zero
+// lost heartbeats and monotonic per-UE ack refs.
+func TestConcurrentFleetStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	r, err := New(Config{
+		UEs:        200,
+		Relays:     3,
+		RelayRatio: 0.5,
+		Profiles:   []hbmsg.AppProfile{fastProfile(500 * time.Millisecond)},
+		Duration:   2500 * time.Millisecond,
+		AckTimeout: 4 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent == 0 || rep.SentRelayed == 0 || rep.SentDirect == 0 {
+		t.Fatalf("both paths should carry traffic: %+v", rep)
+	}
+	// Zero lost heartbeats: everything sent was acknowledged.
+	if rep.Acked != rep.Sent {
+		t.Fatalf("lost heartbeats: sent=%d acked=%d timeouts=%d errors=%d",
+			rep.Sent, rep.Acked, rep.Timeouts, rep.Errors)
+	}
+	if rep.Timeouts != 0 || rep.Errors != 0 {
+		t.Fatalf("timeouts/errors on loopback: %+v", rep)
+	}
+	// Monotonic ack refs: no UE ever saw an ack for a seq at or below one
+	// already acknowledged.
+	if rep.OutOfOrderAcks != 0 {
+		t.Fatalf("out-of-order acks: %d", rep.OutOfOrderAcks)
+	}
+	if rep.Server == nil || rep.Server.HeartbeatsRelayed == 0 || rep.Server.HeartbeatsDirect == 0 {
+		t.Fatalf("server should see both paths: %+v", rep.Server)
+	}
+	if rep.Relay == nil || rep.Relay.Forwarded == 0 {
+		t.Fatalf("relays idle: %+v", rep.Relay)
+	}
+}

@@ -1,0 +1,204 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"d2dhb/internal/metrics"
+	"d2dhb/internal/relaynet"
+)
+
+// LatencyStats summarizes one path's heartbeat→ack latency distribution in
+// milliseconds.
+type LatencyStats struct {
+	Count  uint64  `json:"count"`
+	MeanMs float64 `json:"meanMs"`
+	P50Ms  float64 `json:"p50Ms"`
+	P95Ms  float64 `json:"p95Ms"`
+	P99Ms  float64 `json:"p99Ms"`
+	P999Ms float64 `json:"p999Ms"`
+	MaxMs  float64 `json:"maxMs"`
+}
+
+func latencyStats(s *HistSnapshot) LatencyStats {
+	us := func(v uint64) float64 { return float64(v) / 1000 }
+	return LatencyStats{
+		Count:  s.Count(),
+		MeanMs: s.Mean() / 1000,
+		P50Ms:  us(s.Quantile(0.50)),
+		P95Ms:  us(s.Quantile(0.95)),
+		P99Ms:  us(s.Quantile(0.99)),
+		P999Ms: us(s.Quantile(0.999)),
+		MaxMs:  us(s.Max()),
+	}
+}
+
+// RelayStats aggregates the run's relay agents.
+type RelayStats struct {
+	Collected int `json:"collected"`
+	Forwarded int `json:"forwarded"`
+	Flushes   int `json:"flushes"`
+	Rejected  int `json:"rejected"`
+}
+
+// Report is one load-generation measurement: cumulative counts since run
+// start plus latency quantiles per path. Periodic reports have Final false.
+type Report struct {
+	Final      bool    `json:"final"`
+	ElapsedSec float64 `json:"elapsedSec"`
+
+	UEs        int     `json:"ues"`
+	RelayedUEs int     `json:"relayedUEs"`
+	Relays     int     `json:"relays"`
+	Arrival    string  `json:"arrival"`
+	Speedup    float64 `json:"speedup"`
+
+	Sent     uint64 `json:"sent"`
+	Acked    uint64 `json:"acked"`
+	Timeouts uint64 `json:"timeouts"`
+	Errors   uint64 `json:"errors"` // dial + write failures
+
+	SentDirect      uint64 `json:"sentDirect"`
+	SentRelayed     uint64 `json:"sentRelayed"`
+	AckedDirect     uint64 `json:"ackedDirect"`
+	AckedRelayed    uint64 `json:"ackedRelayed"`
+	TimeoutsDirect  uint64 `json:"timeoutsDirect"`
+	TimeoutsRelayed uint64 `json:"timeoutsRelayed"`
+	DialErrors      uint64 `json:"dialErrors"`
+	WriteErrors     uint64 `json:"writeErrors"`
+	OutOfOrderAcks  uint64 `json:"outOfOrderAcks"`
+
+	// OfferedHBps is the sent rate, ThroughputHBps the acknowledged rate.
+	OfferedHBps    float64 `json:"offeredHBps"`
+	ThroughputHBps float64 `json:"throughputHBps"`
+
+	Overall LatencyStats `json:"overall"`
+	Direct  LatencyStats `json:"direct"`
+	Relayed LatencyStats `json:"relayed"`
+
+	// Server holds the in-process presence server's counters; nil when the
+	// run targeted an external server.
+	Server *relaynet.ServerStats `json:"server,omitempty"`
+	// Relay aggregates the in-process relay agents; nil without relays.
+	Relay *RelayStats `json:"relay,omitempty"`
+}
+
+// snapshot assembles a cumulative report at the given elapsed time.
+func (r *Runner) snapshot(elapsed time.Duration, final bool) Report {
+	c := &r.counters
+	direct := r.histDirect.Snapshot()
+	relayed := r.histRelay.Snapshot()
+	overall := r.histDirect.Snapshot().Merge(relayed)
+
+	rep := Report{
+		Final:      final,
+		ElapsedSec: elapsed.Seconds(),
+		UEs:        r.cfg.UEs,
+		RelayedUEs: r.relayedUEs,
+		Relays:     len(r.relays),
+		Arrival:    r.cfg.Arrival.Shape.String(),
+		Speedup:    r.cfg.Speedup,
+
+		SentDirect:      c.sentDirect.Load(),
+		SentRelayed:     c.sentRelayed.Load(),
+		AckedDirect:     c.ackedDirect.Load(),
+		AckedRelayed:    c.ackedRelayed.Load(),
+		TimeoutsDirect:  c.timeoutDirect.Load(),
+		TimeoutsRelayed: c.timeoutRelayed.Load(),
+		DialErrors:      c.dialErrors.Load(),
+		WriteErrors:     c.writeErrors.Load(),
+		OutOfOrderAcks:  c.outOfOrderAcks.Load(),
+
+		Overall: latencyStats(overall),
+		Direct:  latencyStats(direct),
+		Relayed: latencyStats(relayed),
+	}
+	rep.Sent = rep.SentDirect + rep.SentRelayed
+	rep.Acked = rep.AckedDirect + rep.AckedRelayed
+	rep.Timeouts = rep.TimeoutsDirect + rep.TimeoutsRelayed
+	rep.Errors = rep.DialErrors + rep.WriteErrors
+	if sec := elapsed.Seconds(); sec > 0 {
+		rep.OfferedHBps = float64(rep.Sent) / sec
+		rep.ThroughputHBps = float64(rep.Acked) / sec
+	}
+	if r.server != nil {
+		st := r.server.Stats()
+		rep.Server = &st
+	}
+	if len(r.relays) > 0 {
+		agg := RelayStats{}
+		for _, ra := range r.relays {
+			st := ra.Stats()
+			agg.Collected += st.Collected
+			agg.Forwarded += st.Forwarded
+			agg.Flushes += st.Flushes
+			agg.Rejected += st.RejectedClosed + st.RejectedExpire
+		}
+		rep.Relay = &agg
+	}
+	return rep
+}
+
+// LatencyTable renders the per-path latency quantiles.
+func (rep Report) LatencyTable() *metrics.Table {
+	t := metrics.NewTable("heartbeat→ack latency (ms)",
+		"path", "count", "mean", "p50", "p95", "p99", "p999", "max")
+	add := func(name string, s LatencyStats) {
+		t.AddRow(name, fmt.Sprintf("%d", s.Count),
+			metrics.F(s.MeanMs), metrics.F(s.P50Ms), metrics.F(s.P95Ms),
+			metrics.F(s.P99Ms), metrics.F(s.P999Ms), metrics.F(s.MaxMs))
+	}
+	add("direct", rep.Direct)
+	add("relayed", rep.Relayed)
+	add("overall", rep.Overall)
+	return t
+}
+
+// CountsTable renders throughput and delivery accounting.
+func (rep Report) CountsTable() *metrics.Table {
+	t := metrics.NewTable("delivery accounting",
+		"metric", "total", "direct", "relayed")
+	row := func(name string, total, d, rl uint64) {
+		t.AddRow(name, fmt.Sprintf("%d", total), fmt.Sprintf("%d", d), fmt.Sprintf("%d", rl))
+	}
+	row("sent", rep.Sent, rep.SentDirect, rep.SentRelayed)
+	row("acked", rep.Acked, rep.AckedDirect, rep.AckedRelayed)
+	row("timeouts", rep.Timeouts, rep.TimeoutsDirect, rep.TimeoutsRelayed)
+	t.AddRow("errors", fmt.Sprintf("%d", rep.Errors),
+		fmt.Sprintf("dial=%d", rep.DialErrors), fmt.Sprintf("write=%d", rep.WriteErrors))
+	t.AddRow("out-of-order acks", fmt.Sprintf("%d", rep.OutOfOrderAcks), "", "")
+	return t
+}
+
+// String renders the full human-readable report.
+func (rep Report) String() string {
+	var b strings.Builder
+	kind := "interim"
+	if rep.Final {
+		kind = "final"
+	}
+	fmt.Fprintf(&b, "loadgen %s report — %d UEs (%d relayed via %d relays), arrival %s, speedup %s, elapsed %.1fs\n",
+		kind, rep.UEs, rep.RelayedUEs, rep.Relays, rep.Arrival, metrics.F(rep.Speedup), rep.ElapsedSec)
+	fmt.Fprintf(&b, "throughput %.1f hb/s acked (%.1f hb/s offered)\n\n",
+		rep.ThroughputHBps, rep.OfferedHBps)
+	b.WriteString(rep.CountsTable().String())
+	b.WriteByte('\n')
+	b.WriteString(rep.LatencyTable().String())
+	if rep.Server != nil {
+		fmt.Fprintf(&b, "\nserver: conns=%d direct=%d relayed=%d batches=%d late=%d protoErrs=%d idleDrops=%d\n",
+			rep.Server.Connections, rep.Server.HeartbeatsDirect, rep.Server.HeartbeatsRelayed,
+			rep.Server.Batches, rep.Server.Late, rep.Server.ProtocolErrors, rep.Server.IdleDrops)
+	}
+	if rep.Relay != nil {
+		fmt.Fprintf(&b, "relays: collected=%d forwarded=%d flushes=%d rejected=%d\n",
+			rep.Relay.Collected, rep.Relay.Forwarded, rep.Relay.Flushes, rep.Relay.Rejected)
+	}
+	return b.String()
+}
+
+// JSON renders the report as indented JSON.
+func (rep Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(rep, "", "  ")
+}

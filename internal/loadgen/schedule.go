@@ -1,0 +1,69 @@
+package loadgen
+
+import (
+	"fmt"
+	"time"
+)
+
+// ArrivalShape selects how the fleet comes online — the load shapes the
+// paper's crowd scenarios motivate: a stadium filling gradually (ramp), a
+// steady crowd (steady), or everyone's radio waking at once after an
+// outage-style synchronization event (spike, a signaling storm).
+type ArrivalShape int
+
+// Arrival shapes.
+const (
+	// ArrivalSteady spreads activations uniformly over one window so the
+	// aggregate heartbeat rate is flat from the start (phase-staggered).
+	ArrivalSteady ArrivalShape = iota
+	// ArrivalRamp spreads activations over the window so offered load grows
+	// linearly.
+	ArrivalRamp
+	// ArrivalSpike activates the whole fleet at t=0 — the storm case.
+	ArrivalSpike
+)
+
+// String implements fmt.Stringer.
+func (a ArrivalShape) String() string {
+	switch a {
+	case ArrivalSteady:
+		return "steady"
+	case ArrivalRamp:
+		return "ramp"
+	case ArrivalSpike:
+		return "spike"
+	default:
+		return fmt.Sprintf("shape(%d)", int(a))
+	}
+}
+
+// ParseArrivalShape parses a CLI shape name.
+func ParseArrivalShape(s string) (ArrivalShape, error) {
+	switch s {
+	case "steady":
+		return ArrivalSteady, nil
+	case "ramp":
+		return ArrivalRamp, nil
+	case "spike", "storm":
+		return ArrivalSpike, nil
+	default:
+		return 0, fmt.Errorf("loadgen: unknown arrival shape %q (want steady, ramp or spike)", s)
+	}
+}
+
+// Schedule is an arrival schedule: a shape plus the window it unfolds over.
+// A zero Window lets the runner pick a default (one mean heartbeat period
+// for steady, half the run duration for ramp).
+type Schedule struct {
+	Shape  ArrivalShape
+	Window time.Duration
+}
+
+// StartOffset returns when UE i of a fleet of n activates, relative to run
+// start.
+func (s Schedule) StartOffset(i, n int) time.Duration {
+	if n <= 1 || s.Shape == ArrivalSpike || s.Window <= 0 {
+		return 0
+	}
+	return s.Window * time.Duration(i) / time.Duration(n)
+}

@@ -130,6 +130,96 @@ func TestServerRejectsProtocolViolation(t *testing.T) {
 	}
 }
 
+func TestServerCountsProtocolErrors(t *testing.T) {
+	var rec trace.Recorder
+	s := NewServer()
+	s.SetTracer(&rec)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("server Start: %v", err)
+	}
+	t.Cleanup(s.Shutdown)
+
+	// Garbage bytes: the framer rejects the magic and the server counts a
+	// protocol error and emits a conn-drop trace event.
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	if _, err := conn.Write([]byte("not a heartbeat frame at all")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	_ = conn.Close()
+	eventually(t, time.Second, func() bool { return s.Stats().ProtocolErrors == 1 }, "garbage counted")
+
+	// A well-framed message a client may not send (Ack) is also a protocol
+	// error.
+	conn2, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn2.Close()
+	if err := hbproto.WriteFrame(conn2, &hbproto.Ack{}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	eventually(t, time.Second, func() bool { return s.Stats().ProtocolErrors == 2 }, "ack-from-client counted")
+
+	eventually(t, time.Second, func() bool {
+		return len(rec.ByKind(trace.KindConnDrop)) >= 2
+	}, "conn-drop trace events emitted")
+	for _, ev := range rec.ByKind(trace.KindConnDrop) {
+		if ev.Reason == "" || ev.Device == "" {
+			t.Fatalf("conn-drop event missing detail: %+v", ev)
+		}
+	}
+	if st := s.Stats(); st.IdleDrops != 0 {
+		t.Fatalf("idle drops = %d, want 0", st.IdleDrops)
+	}
+}
+
+func TestServerReapsIdleConnections(t *testing.T) {
+	var rec trace.Recorder
+	s := NewServer()
+	s.SetTracer(&rec)
+	s.SetIdleTimeout(150 * time.Millisecond)
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("server Start: %v", err)
+	}
+	t.Cleanup(s.Shutdown)
+
+	// The client sends one valid heartbeat, gets its ack, then stalls.
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	hb := &hbproto.Heartbeat{
+		Src: "ue-stall", Seq: 1, App: "std",
+		Origin: time.Now(), Expiry: time.Minute, Pad: 54,
+	}
+	if err := hbproto.WriteFrame(conn, hb); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := hbproto.ReadFrame(conn); err != nil {
+		t.Fatalf("read ack: %v", err)
+	}
+
+	// The idle deadline fires and the server drops the connection.
+	eventually(t, 2*time.Second, func() bool { return s.Stats().IdleDrops == 1 }, "idle drop counted")
+	if err := conn.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		t.Fatalf("deadline: %v", err)
+	}
+	if _, err := hbproto.ReadFrame(conn); err == nil {
+		t.Fatal("connection survived idle reaping")
+	}
+	drops := rec.ByKind(trace.KindConnDrop)
+	if len(drops) != 1 || drops[0].Reason != "idle-timeout" {
+		t.Fatalf("conn-drop events = %+v", drops)
+	}
+	if st := s.Stats(); st.ProtocolErrors != 0 || st.HeartbeatsDirect != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
 func TestEndToEndRelaying(t *testing.T) {
 	// Full pipeline: two UEs forward through a relay; the relay batches
 	// under Algorithm 1 and the server acks trigger feedback.

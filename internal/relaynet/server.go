@@ -11,6 +11,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"d2dhb/internal/hbmsg"
@@ -30,6 +31,12 @@ type ServerStats struct {
 	// deadline: the sender had already flapped offline in between (the
 	// paper's lost "effective heartbeat messages").
 	Late int
+	// ProtocolErrors counts connections dropped for malformed frames or
+	// messages a client may not send (each also emits a conn-drop trace
+	// event).
+	ProtocolErrors int
+	// IdleDrops counts connections reaped by the idle read deadline.
+	IdleDrops int
 }
 
 // presence is one client's keep-alive state.
@@ -39,36 +46,105 @@ type presence struct {
 	deadline time.Time
 }
 
-// Server is the IM presence server: it tracks per-client expiration timers
-// that heartbeats reset (Section II-A).
-type Server struct {
+// presenceShardCount stripes the presence table. Power of two so the hash
+// masks instead of dividing; 64 stripes keep contention negligible even
+// for thousands of concurrent handler goroutines.
+const presenceShardCount = 64
+
+// presenceShard is one stripe of the presence/session table. A client's
+// state lives entirely in the shard its ID hashes to, so per-client
+// ordering invariants (tracker deliveries) are preserved under the shard
+// lock alone.
+type presenceShard struct {
 	mu      sync.Mutex
-	ln      net.Listener
-	conns   map[net.Conn]struct{}
 	clients map[string]*presence
 	tracker *presencepkg.Tracker
+	_       [24]byte // keep neighbouring stripes off one cache line
+}
+
+// connCounters is one connection's stats block. The handler goroutine owns
+// the writes (uncontended atomic adds); Stats aggregates every live block
+// plus the folded totals of closed connections on snapshot, so the hot
+// path never takes a shared lock for accounting.
+type connCounters struct {
+	registers atomic.Int64
+	direct    atomic.Int64
+	relayed   atomic.Int64
+	batches   atomic.Int64
+	late      atomic.Int64
+}
+
+// Server is the IM presence server: it tracks per-client expiration timers
+// that heartbeats reset (Section II-A). Presence state is striped across
+// presenceShardCount lock shards keyed by client ID, so handlers for
+// different clients proceed in parallel.
+type Server struct {
+	mu      sync.Mutex // lifecycle + connection registry
+	ln      net.Listener
+	conns   map[net.Conn]*connCounters
+	folded  connCounters // folded counters of closed connections
 	tracer  trace.Tracer
 	start   time.Time
-	stats   ServerStats
 	started bool
 	closed  bool
+
+	shards [presenceShardCount]presenceShard
+
+	accepted       atomic.Int64
+	protocolErrors atomic.Int64
+	idleDrops      atomic.Int64
+
+	// idleTimeout > 0 arms a per-connection read deadline so half-dead
+	// clients are reaped instead of pinning handler goroutines forever.
+	idleTimeout time.Duration
+	// writeTimeout > 0 bounds ack writes so a client that stops reading
+	// cannot block its handler.
+	writeTimeout time.Duration
 
 	wg sync.WaitGroup
 }
 
 // NewServer returns an unstarted server.
 func NewServer() *Server {
-	return &Server{
-		conns:   make(map[net.Conn]struct{}),
-		clients: make(map[string]*presence),
-		tracker: presencepkg.NewTracker(),
+	s := &Server{conns: make(map[net.Conn]*connCounters)}
+	for i := range s.shards {
+		s.shards[i].clients = make(map[string]*presence)
+		s.shards[i].tracker = presencepkg.NewTracker()
 	}
+	return s
+}
+
+// shard returns the stripe owning a client ID (FNV-1a).
+func (s *Server) shard(id string) *presenceShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * 16777619
+	}
+	return &s.shards[h&(presenceShardCount-1)]
 }
 
 // SetTracer attaches an event tracer; call before Start. Real-stack events
 // carry absolute Unix milliseconds in AtMs (components are independent
 // processes with no shared virtual clock).
 func (s *Server) SetTracer(tr trace.Tracer) { s.tracer = tr }
+
+// SetIdleTimeout arms a per-connection read deadline: a connection that
+// stays silent for d is dropped and counted in IdleDrops. Zero (the
+// default) disables reaping. Call before Start.
+func (s *Server) SetIdleTimeout(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idleTimeout = d
+}
+
+// SetWriteTimeout bounds every ack write so a client that stops reading
+// cannot pin its handler goroutine. Zero (the default) disables the bound.
+// Call before Start.
+func (s *Server) SetWriteTimeout(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writeTimeout = d
+}
 
 // Start listens on addr (use "127.0.0.1:0" for an ephemeral port) and
 // serves until Shutdown.
@@ -117,31 +193,51 @@ func (s *Server) Shutdown() {
 	s.wg.Wait()
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters: the folded totals of closed
+// connections plus every live connection's block.
 func (s *Server) Stats() ServerStats {
+	var st ServerStats
+	add := func(cc *connCounters) {
+		st.Registers += int(cc.registers.Load())
+		st.HeartbeatsDirect += int(cc.direct.Load())
+		st.HeartbeatsRelayed += int(cc.relayed.Load())
+		st.Batches += int(cc.batches.Load())
+		st.Late += int(cc.late.Load())
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	add(&s.folded)
+	for _, cc := range s.conns {
+		add(cc)
+	}
+	s.mu.Unlock()
+	st.Connections = int(s.accepted.Load())
+	st.ProtocolErrors = int(s.protocolErrors.Load())
+	st.IdleDrops = int(s.idleDrops.Load())
+	return st
 }
 
 // Online reports whether the client's expiration timer is still running at
 // instant now.
 func (s *Server) Online(id string, now time.Time) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.clients[id]
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p, ok := sh.clients[id]
 	return ok && now.Before(p.deadline)
 }
 
 // OnlineCount returns how many clients are online at instant now.
 func (s *Server) OnlineCount(now time.Time) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
-	for _, p := range s.clients {
-		if now.Before(p.deadline) {
-			n++
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, p := range sh.clients {
+			if now.Before(p.deadline) {
+				n++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return n
 }
@@ -153,74 +249,127 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		cc := &connCounters{}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			_ = conn.Close()
 			return
 		}
-		s.conns[conn] = struct{}{}
-		s.stats.Connections++
+		s.conns[conn] = cc
+		s.accepted.Add(1)
 		s.wg.Add(1)
 		s.mu.Unlock()
-		go s.handleConn(conn)
+		go s.handleConn(conn, cc)
 	}
 }
 
-func (s *Server) handleConn(conn net.Conn) {
+func (s *Server) handleConn(conn net.Conn, cc *connCounters) {
 	defer s.wg.Done()
 	defer func() {
 		_ = conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
+		// Fold this connection's counters into the closed totals so the
+		// snapshot stays complete after the handler exits.
+		s.folded.registers.Add(cc.registers.Load())
+		s.folded.direct.Add(cc.direct.Load())
+		s.folded.relayed.Add(cc.relayed.Load())
+		s.folded.batches.Add(cc.batches.Load())
+		s.folded.late.Add(cc.late.Load())
 		s.mu.Unlock()
 	}()
+	s.mu.Lock()
+	idle, wto := s.idleTimeout, s.writeTimeout
+	s.mu.Unlock()
 	for {
+		if idle > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(idle))
+		}
 		msg, err := hbproto.ReadFrame(conn)
 		if err != nil {
-			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
-				// Protocol error: drop the connection; the client will
-				// reconnect and resend.
-				return
-			}
+			s.noteReadError(conn, err)
 			return
 		}
-		if err := s.handleMessage(conn, msg); err != nil {
+		if err := s.handleMessage(conn, cc, wto, msg); err != nil {
+			if errors.Is(err, errProtocol) {
+				s.noteDrop(conn, err.Error(), false)
+			}
 			return
 		}
 	}
 }
 
-func (s *Server) handleMessage(conn net.Conn, msg hbproto.Message) error {
+// errProtocol marks connection drops caused by the peer violating the
+// protocol (as opposed to ordinary disconnects or write failures).
+var errProtocol = errors.New("relaynet: protocol violation")
+
+// noteReadError classifies a terminal read error: clean disconnects pass
+// silently, idle-deadline expiries count as reaps, anything else (bad
+// magic, checksum mismatch, truncated frame, unknown type) is a protocol
+// error. Both drop flavours emit a conn-drop trace event.
+func (s *Server) noteReadError(conn net.Conn, err error) {
+	if err == io.EOF || errors.Is(err, net.ErrClosed) {
+		return
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		s.noteDrop(conn, "idle-timeout", true)
+		return
+	}
+	s.noteDrop(conn, err.Error(), false)
+}
+
+// noteDrop records one counted connection drop and its trace event.
+func (s *Server) noteDrop(conn net.Conn, reason string, idle bool) {
+	if idle {
+		s.idleDrops.Add(1)
+	} else {
+		s.protocolErrors.Add(1)
+	}
+	trace.Emit(s.tracer, trace.Event{
+		AtMs: time.Now().UnixMilli(), Device: conn.RemoteAddr().String(),
+		Kind: trace.KindConnDrop, Reason: reason,
+	})
+}
+
+// writeFrame writes one message under the optional write deadline.
+func writeFrame(conn net.Conn, wto time.Duration, msg hbproto.Message) error {
+	if wto > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(wto))
+	}
+	return hbproto.WriteFrame(conn, msg)
+}
+
+func (s *Server) handleMessage(conn net.Conn, cc *connCounters, wto time.Duration, msg hbproto.Message) error {
 	now := time.Now()
 	switch m := msg.(type) {
 	case *hbproto.Register:
-		s.mu.Lock()
-		s.stats.Registers++
-		s.clients[m.ID] = &presence{
+		cc.registers.Add(1)
+		sh := s.shard(m.ID)
+		sh.mu.Lock()
+		sh.clients[m.ID] = &presence{
 			app:      m.App,
 			lastSeen: now,
 			deadline: now.Add(m.Expiry),
 		}
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return nil
 	case *hbproto.Heartbeat:
-		s.touch(m, now, false)
-		return hbproto.WriteFrame(conn, &hbproto.Ack{
+		s.touch(cc, m, now, false)
+		return writeFrame(conn, wto, &hbproto.Ack{
 			Refs: []hbproto.Ref{{Src: m.Src, Seq: m.Seq}},
 		})
 	case *hbproto.Batch:
 		refs := make([]hbproto.Ref, 0, len(m.HBs))
 		for i := range m.HBs {
-			s.touch(&m.HBs[i], now, true)
+			s.touch(cc, &m.HBs[i], now, true)
 			refs = append(refs, hbproto.Ref{Src: m.HBs[i].Src, Seq: m.HBs[i].Seq})
 		}
-		s.mu.Lock()
-		s.stats.Batches++
-		s.mu.Unlock()
-		return hbproto.WriteFrame(conn, &hbproto.Ack{Refs: refs})
+		cc.batches.Add(1)
+		return writeFrame(conn, wto, &hbproto.Ack{Refs: refs})
 	default:
-		return fmt.Errorf("relaynet: unexpected %v from client", msg.Type())
+		return fmt.Errorf("%w: unexpected %v from client", errProtocol, msg.Type())
 	}
 }
 
@@ -229,48 +378,51 @@ func (s *Server) handleMessage(conn net.Conn, msg hbproto.Message) error {
 // the timer runs for the heartbeat's expiry from reception. A heartbeat
 // arriving past its own origin+expiry deadline still resets the timer but
 // is counted late: the client had already flapped offline in between.
-func (s *Server) touch(hb *hbproto.Heartbeat, now time.Time, relayed bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+func (s *Server) touch(cc *connCounters, hb *hbproto.Heartbeat, now time.Time, relayed bool) {
 	if relayed {
-		s.stats.HeartbeatsRelayed++
+		cc.relayed.Add(1)
 	} else {
-		s.stats.HeartbeatsDirect++
+		cc.direct.Add(1)
 	}
-	if now.After(hb.Deadline()) {
-		s.stats.Late++
+	onTime := !now.After(hb.Deadline())
+	if !onTime {
+		cc.late.Add(1)
 	}
-	p, ok := s.clients[hb.Src]
+	sh := s.shard(hb.Src)
+	sh.mu.Lock()
+	p, ok := sh.clients[hb.Src]
 	if !ok {
 		p = &presence{app: hb.App}
-		s.clients[hb.Src] = p
+		sh.clients[hb.Src] = p
 	}
 	p.lastSeen = now
 	if deadline := now.Add(hb.Expiry); deadline.After(p.deadline) {
 		p.deadline = deadline
 	}
-	_ = s.tracker.Deliver(hbmsg.Heartbeat{
+	_ = sh.tracker.Deliver(hbmsg.Heartbeat{
 		Src:    hbmsg.DeviceID(hb.Src),
 		Seq:    hb.Seq,
 		App:    hb.App,
 		Expiry: hb.Expiry,
 	}, now.Sub(s.start))
+	sh.mu.Unlock()
 	via := hb.Src
 	if relayed {
 		via = "relay"
 	}
 	trace.Emit(s.tracer, trace.Event{
 		AtMs: now.UnixMilli(), Device: hb.Src, Kind: trace.KindDelivery,
-		App: hb.App, Seq: hb.Seq, Peer: via, OnTime: !now.After(hb.Deadline()),
+		App: hb.App, Seq: hb.Seq, Peer: via, OnTime: onTime,
 	})
 }
 
 // Availability returns the fraction of time the client was online between
 // its first heartbeat and now, and how many times it flapped offline.
 func (s *Server) Availability(id string) (availability float64, flaps int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	horizon := time.Since(s.start)
-	_, flaps, _ = s.tracker.Stats(hbmsg.DeviceID(id), horizon)
-	return s.tracker.Availability(hbmsg.DeviceID(id), horizon), flaps
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, flaps, _ = sh.tracker.Stats(hbmsg.DeviceID(id), horizon)
+	return sh.tracker.Availability(hbmsg.DeviceID(id), horizon), flaps
 }

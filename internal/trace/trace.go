@@ -30,6 +30,7 @@ const (
 	KindReject     Kind = "reject"       // relay refused (closed/expired)
 	KindFlush      Kind = "flush"        // relay transmitted a batch
 	KindDelivery   Kind = "delivery"     // heartbeat observed at the network
+	KindConnDrop   Kind = "conn-drop"    // server dropped a connection (protocol error, idle timeout)
 	KindStop       Kind = "stop"         // device stopped
 )
 
