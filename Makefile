@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench repro examples load fmt clean
+.PHONY: all build vet test race bench repro examples load chaos fuzz fmt clean
 
 all: build vet test
 
@@ -37,6 +37,16 @@ examples:
 # Short open-loop capacity run against the real stack over loopback.
 load:
 	$(GO) run ./cmd/d2dload -ues 1000 -relays 2 -duration 5s -speedup 200
+
+# Chaos suite: the fault-injection layer plus the real stack driven through
+# scripted failure scenarios, race-checked.
+chaos:
+	$(GO) test -race -count=1 -v ./internal/faultnet
+	$(GO) test -race -count=1 -v -run 'Chaos|Fallback|Backoff' ./internal/relaynet
+
+# 30-second coverage-guided fuzz smoke on the wire-format decoder.
+fuzz:
+	$(GO) test -fuzz=FuzzReadFrame -fuzztime=30s ./internal/hbproto
 
 fmt:
 	gofmt -w .

@@ -8,11 +8,17 @@
 //	d2dload [-ues 1000] [-relays 2] [-relay-ratio 0.25] [-apps wechat:2,qq:1]
 //	        [-duration 10s] [-speedup 100] [-arrival steady|ramp|spike]
 //	        [-window 0] [-report 5s] [-timeout 0] [-capacity 0]
-//	        [-server host:port] [-json path]
+//	        [-server host:port] [-json path] [-fault spec]
 //
 // App profile periods are divided by -speedup so commercial multi-minute
 // heartbeat intervals compress into short runs. The final report prints as
 // a human table and as JSON (to stdout, or to -json path).
+//
+// -fault injects scripted network faults into every dial the run makes
+// (see internal/faultnet.ParseSpec), e.g.
+//
+//	-fault "seed=42,latency=5ms,jitter=2ms,corrupt=0.01,partition=3s+1s"
+//	-fault "seed=7,chaos=4,horizon=10s"
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"d2dhb/internal/faultnet"
 	"d2dhb/internal/hbmsg"
 	"d2dhb/internal/loadgen"
 )
@@ -42,10 +49,11 @@ func main() {
 		capacity   = flag.Int("capacity", 0, "relay per-period collection capacity M (0 = auto)")
 		server     = flag.String("server", "", "external presence server address (default: in-process)")
 		jsonPath   = flag.String("json", "", "write the final JSON report to this file instead of stdout")
+		fault      = flag.String("fault", "", "fault-injection spec, e.g. seed=42,latency=5ms,corrupt=0.01,partition=3s+1s")
 	)
 	flag.Parse()
 	if err := run(*ues, *relays, *relayRatio, *apps, *duration, *speedup,
-		*arrival, *window, *report, *timeout, *capacity, *server, *jsonPath); err != nil {
+		*arrival, *window, *report, *timeout, *capacity, *server, *jsonPath, *fault); err != nil {
 		fmt.Fprintln(os.Stderr, "d2dload:", err)
 		os.Exit(1)
 	}
@@ -53,13 +61,17 @@ func main() {
 
 func run(ues, relays int, relayRatio float64, apps string, duration time.Duration,
 	speedup float64, arrival string, window, report, timeout time.Duration,
-	capacity int, server, jsonPath string) error {
+	capacity int, server, jsonPath, fault string) error {
 	raiseFDLimit()
 	shape, err := loadgen.ParseArrivalShape(arrival)
 	if err != nil {
 		return err
 	}
 	profiles, err := parseAppMix(apps)
+	if err != nil {
+		return err
+	}
+	faults, err := faultnet.ParseSpec(fault)
 	if err != nil {
 		return err
 	}
@@ -75,6 +87,7 @@ func run(ues, relays int, relayRatio float64, apps string, duration time.Duratio
 		RelayCapacity: capacity,
 		ReportEvery:   report,
 		ServerAddr:    server,
+		Faults:        faults,
 	}
 	if report > 0 {
 		cfg.OnReport = func(rep loadgen.Report) {
@@ -95,6 +108,11 @@ func run(ues, relays int, relayRatio float64, apps string, duration time.Duratio
 	}
 	fmt.Println()
 	fmt.Print(rep.String())
+	if faults != nil {
+		fs := faults.Stats()
+		fmt.Printf("\nfaults injected: delayed=%d throttled=%d corrupted=%d resets=%d dropped-sends=%d blackholed=%d refused-dials=%d\n",
+			fs.Delayed, fs.Throttled, fs.Corrupted, fs.Resets, fs.DroppedSends, fs.Blackholed, fs.RefusedDials)
+	}
 	js, err := rep.JSON()
 	if err != nil {
 		return err

@@ -1,0 +1,182 @@
+package faultnet
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedReset marks a connection reset injected by a reset window.
+var ErrInjectedReset = errors.New("faultnet: injected connection reset")
+
+// ErrPartitioned marks a dial refused by an active partition window.
+var ErrPartitioned = errors.New("faultnet: partition active")
+
+// DialFunc matches the dial hooks on relaynet configs.
+type DialFunc func(network, addr string) (net.Conn, error)
+
+// Conn applies the schedule's active write-side faults to one wrapped
+// connection. Reads pass through untouched: partitions, corruption and
+// resets are modeled at the sender, where the paper's feedback fallback
+// has to detect them.
+type Conn struct {
+	net.Conn
+	s *Schedule
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// WrapConn wraps c so its writes suffer the schedule's active faults. Each
+// wrapped connection draws probabilistic decisions from its own RNG derived
+// from the schedule seed and the wrap order, so a single-connection write
+// sequence is reproducible for a fixed seed.
+func (s *Schedule) WrapConn(c net.Conn) net.Conn {
+	s.mu.Lock()
+	s.conns++
+	connSeed := s.seed*1000003 + s.conns
+	s.mu.Unlock()
+	return &Conn{Conn: c, s: s, rng: rand.New(rand.NewSource(connSeed))}
+}
+
+// chance draws one biased coin from the connection's RNG.
+func (c *Conn) chance(p float64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64() < p
+}
+
+// intn draws one bounded integer from the connection's RNG.
+func (c *Conn) intn(n int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Intn(n)
+}
+
+// Write implements net.Conn with the schedule's active faults applied, in
+// severity order: partition (swallow), reset (kill), corrupt (flip a bit),
+// latency (sleep), throttle (trickle).
+func (c *Conn) Write(b []byte) (int, error) {
+	device := c.RemoteAddr().String()
+	if _, ok := c.s.Active(KindPartition); ok {
+		c.s.note(func(st *Stats) { st.DroppedSends++ }, device, KindPartition)
+		return len(b), nil // swallowed: the sender only learns via missing acks
+	}
+	if f, ok := c.s.Active(KindReset); ok && c.chance(f.Prob) {
+		half := len(b) / 2
+		if half > 0 {
+			_, _ = c.Conn.Write(b[:half])
+		}
+		_ = c.Conn.Close()
+		c.s.note(func(st *Stats) { st.Resets++ }, device, KindReset)
+		return half, ErrInjectedReset
+	}
+	buf := b
+	if f, ok := c.s.Active(KindCorrupt); ok && len(b) > 0 && c.chance(f.Prob) {
+		buf = append([]byte(nil), b...)
+		buf[c.intn(len(buf))] ^= 1 << uint(c.intn(8))
+		c.s.note(func(st *Stats) { st.Corrupted++ }, device, KindCorrupt)
+	}
+	if f, ok := c.s.Active(KindLatency); ok {
+		d := f.Latency
+		if f.Jitter > 0 {
+			d += time.Duration(c.intn(int(2*f.Jitter))) - f.Jitter
+		}
+		if d > 0 {
+			time.Sleep(d)
+			c.s.note(func(st *Stats) { st.Delayed++ }, device, KindLatency)
+		}
+	}
+	if f, ok := c.s.Active(KindThrottle); ok && f.Rate > 0 {
+		c.s.note(func(st *Stats) { st.Throttled++ }, device, KindThrottle)
+		return c.trickle(buf, f.Rate)
+	}
+	n, err := c.Conn.Write(buf)
+	if n > len(b) {
+		n = len(b)
+	}
+	return n, err
+}
+
+// trickle writes buf in small chunks paced to rate bytes/second — the
+// slow-loris path.
+func (c *Conn) trickle(buf []byte, rate int) (int, error) {
+	chunk := rate / 10
+	if chunk < 1 {
+		chunk = 1
+	}
+	chunkDelay := time.Duration(chunk) * time.Second / time.Duration(rate)
+	written := 0
+	for written < len(buf) {
+		end := written + chunk
+		if end > len(buf) {
+			end = len(buf)
+		}
+		n, err := c.Conn.Write(buf[written:end])
+		written += n
+		if err != nil {
+			return written, err
+		}
+		if written < len(buf) {
+			time.Sleep(chunkDelay)
+		}
+	}
+	return written, nil
+}
+
+// Listener blackholes accepts during blackhole windows and fault-wraps
+// every connection it hands out.
+type Listener struct {
+	net.Listener
+	s *Schedule
+}
+
+// WrapListener wraps ln so accepted connections carry the schedule's faults
+// and blackhole windows close inbound connections on arrival.
+func (s *Schedule) WrapListener(ln net.Listener) net.Listener {
+	return &Listener{Listener: ln, s: s}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := l.s.Active(KindBlackhole); ok {
+			l.s.note(func(st *Stats) { st.Blackholed++ }, c.RemoteAddr().String(), KindBlackhole)
+			_ = c.Close()
+			continue
+		}
+		return l.s.WrapConn(c), nil
+	}
+}
+
+// Dial is a fault-injecting replacement for net.Dial: partitions refuse the
+// dial outright, and successful dials return fault-wrapped connections.
+// It matches the Dial hook signature on relaynet configs.
+func (s *Schedule) Dial(network, addr string) (net.Conn, error) {
+	if _, ok := s.Active(KindPartition); ok {
+		s.note(func(st *Stats) { st.RefusedDials++ }, addr, KindPartition)
+		return nil, ErrPartitioned
+	}
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return s.WrapConn(c), nil
+}
+
+// Listen is a fault-injecting replacement for net.Listen, returning a
+// wrapped listener. It matches the Listen hook signature on relaynet
+// configs.
+func (s *Schedule) Listen(network, addr string) (net.Listener, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return s.WrapListener(ln), nil
+}

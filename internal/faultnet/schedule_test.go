@@ -1,0 +1,142 @@
+package faultnet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{Horizon: 8 * time.Second, Count: 6}
+	a := Generate(42, cfg)
+	b := Generate(42, cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different timelines:\n%v\n%v", a, b)
+	}
+	if len(a) != 6 {
+		t.Fatalf("window count = %d, want 6", len(a))
+	}
+	c := Generate(43, cfg)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical timelines")
+	}
+	for i, w := range a {
+		if w.From < 0 || w.To <= w.From {
+			t.Fatalf("window %d malformed: %+v", i, w)
+		}
+		if i > 0 && a[i-1].From > w.From {
+			t.Fatalf("windows not sorted by From: %v", a)
+		}
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	ws := Generate(1, GenConfig{})
+	if len(ws) != 4 {
+		t.Fatalf("default count = %d, want 4", len(ws))
+	}
+	for _, w := range ws {
+		switch w.Fault.Kind {
+		case KindLatency:
+			if w.Fault.Latency <= 0 {
+				t.Fatalf("latency window without latency: %+v", w)
+			}
+		case KindCorrupt, KindReset:
+			if w.Fault.Prob <= 0 || w.Fault.Prob >= 1 {
+				t.Fatalf("probability out of range: %+v", w)
+			}
+		case KindPartition:
+		default:
+			t.Fatalf("unexpected default kind %q", w.Fault.Kind)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec("seed=42,latency=20ms,jitter=10ms,corrupt=0.01,reset=0.005,partition=2s+1s,blackhole=500ms+250ms,throttle=4096")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	kinds := make(map[Kind]Window)
+	for _, w := range s.Windows() {
+		kinds[w.Fault.Kind] = w
+	}
+	if len(kinds) != 6 {
+		t.Fatalf("kinds = %v, want 6 distinct", kinds)
+	}
+	if w := kinds[KindLatency]; w.Fault.Latency != 20*time.Millisecond || w.Fault.Jitter != 10*time.Millisecond || w.To != 0 {
+		t.Fatalf("latency window = %+v", w)
+	}
+	if w := kinds[KindPartition]; w.From != 2*time.Second || w.To != 3*time.Second {
+		t.Fatalf("partition window = %+v", w)
+	}
+	if w := kinds[KindBlackhole]; w.From != 500*time.Millisecond || w.To != 750*time.Millisecond {
+		t.Fatalf("blackhole window = %+v", w)
+	}
+	if w := kinds[KindThrottle]; w.Fault.Rate != 4096 {
+		t.Fatalf("throttle window = %+v", w)
+	}
+}
+
+func TestParseSpecChaos(t *testing.T) {
+	s, err := ParseSpec("seed=7,chaos=5,horizon=4s")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if got := len(s.Windows()); got != 5 {
+		t.Fatalf("chaos windows = %d, want 5", got)
+	}
+	// Same spec, same timeline.
+	s2, _ := ParseSpec("seed=7,chaos=5,horizon=4s")
+	if !reflect.DeepEqual(s.Windows(), s2.Windows()) {
+		t.Fatal("identical chaos specs produced different timelines")
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus=1",
+		"latency=notaduration",
+		"partition=2s", // missing +DUR
+		"partition=2s+-1s",
+		"seed=42", // defines no faults
+		"corrupt",
+	} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+	if s, err := ParseSpec(""); err != nil || s != nil {
+		t.Fatalf("empty spec = (%v, %v), want (nil, nil)", s, err)
+	}
+}
+
+func TestWindowTiming(t *testing.T) {
+	s := NewSchedule(1, []Window{
+		{From: 150 * time.Millisecond, To: 450 * time.Millisecond,
+			Fault: Fault{Kind: KindPartition}},
+	})
+	s.Start()
+	if _, ok := s.Active(KindPartition); ok {
+		t.Fatal("window active before From")
+	}
+	time.Sleep(250 * time.Millisecond)
+	if _, ok := s.Active(KindPartition); !ok {
+		t.Fatal("window inactive inside [From, To)")
+	}
+	time.Sleep(350 * time.Millisecond)
+	if _, ok := s.Active(KindPartition); ok {
+		t.Fatal("window still active past To")
+	}
+}
+
+func TestOpenEndedWindow(t *testing.T) {
+	s := NewSchedule(1, []Window{{Fault: Fault{Kind: KindCorrupt, Prob: 1}}})
+	f, ok := s.Active(KindCorrupt)
+	if !ok || f.Prob != 1 {
+		t.Fatalf("open-ended window not active: %+v %v", f, ok)
+	}
+	if _, ok := s.Active(KindReset); ok {
+		t.Fatal("unscheduled kind reported active")
+	}
+}

@@ -2,6 +2,7 @@ package hbproto
 
 import (
 	"bytes"
+	"math/rand"
 	"testing"
 	"time"
 )
@@ -27,6 +28,27 @@ func FuzzReadFrame(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{'H', 'B', Version, 99, 0, 0, 0, 0})
+
+	// Seeded corpus of damaged real frames: every truncation point and a
+	// spread of single-bit flips over each valid encoding. These are the
+	// exact shapes faultnet's corrupt/reset injectors produce on the wire,
+	// so the fuzzer starts from the corruption space chaos runs explore.
+	rng := rand.New(rand.NewSource(99))
+	for _, m := range seedMsgs {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		frame := buf.Bytes()
+		for cut := 0; cut < len(frame); cut += 3 {
+			f.Add(append([]byte(nil), frame[:cut]...))
+		}
+		for i := 0; i < 8; i++ {
+			flipped := append([]byte(nil), frame...)
+			flipped[rng.Intn(len(flipped))] ^= 1 << uint(rng.Intn(8))
+			f.Add(flipped)
+		}
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msg, err := ReadFrame(bytes.NewReader(data))

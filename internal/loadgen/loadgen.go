@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"d2dhb/internal/faultnet"
 	"d2dhb/internal/hbmsg"
 	"d2dhb/internal/hbproto"
 	"d2dhb/internal/relaynet"
@@ -51,6 +52,10 @@ type Config struct {
 	Tracer trace.Tracer
 	// HistShards sets the latency histogram shard count. Zero selects 8.
 	HistShards int
+	// Faults injects the schedule's faults into every outbound dial the
+	// run makes (UE→relay, UE→server and relay→server), for
+	// chaos-under-load measurements. Nil disables fault injection.
+	Faults *faultnet.Schedule
 }
 
 func (c Config) validate() error {
@@ -265,6 +270,10 @@ func (r *Runner) startRelays() error {
 		perRelay := (r.relayedUEs + r.cfg.Relays - 1) / r.cfg.Relays
 		capacity = perRelay*4 + 16
 	}
+	var dial func(network, addr string) (net.Conn, error)
+	if r.cfg.Faults != nil {
+		dial = r.cfg.Faults.Dial
+	}
 	for i := 0; i < r.cfg.Relays; i++ {
 		ra, err := relaynet.NewRelayAgent(relaynet.RelayAgentConfig{
 			ID:       fmt.Sprintf("loadrelay-%d", i),
@@ -274,6 +283,7 @@ func (r *Runner) startRelays() error {
 			Pad:      54,
 			Capacity: capacity,
 			Tracer:   r.cfg.Tracer,
+			Dial:     dial,
 		})
 		if err != nil {
 			return err
@@ -304,6 +314,10 @@ func (r *Runner) buildFleet() {
 			timeout: r.ackTimeout,
 			c:       &r.counters,
 			pending: make(map[uint64]int64),
+			dial:    net.Dial,
+		}
+		if r.cfg.Faults != nil {
+			u.dial = r.cfg.Faults.Dial
 		}
 		if relayed {
 			u.addr = r.relays[i%len(r.relays)].Addr()
@@ -361,6 +375,7 @@ type vue struct {
 	timeout time.Duration
 	rec     *Recorder
 	c       *fleetCounters
+	dial    func(network, addr string) (net.Conn, error)
 
 	mu      sync.Mutex
 	conn    net.Conn
@@ -447,7 +462,7 @@ func (u *vue) ensureConn(readWg *sync.WaitGroup) net.Conn {
 	}
 	u.mu.Unlock()
 
-	conn, err := net.Dial("tcp", u.addr)
+	conn, err := u.dial("tcp", u.addr)
 	if err != nil {
 		return nil
 	}

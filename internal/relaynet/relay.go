@@ -3,6 +3,7 @@ package relaynet
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -30,6 +31,22 @@ type RelayAgentConfig struct {
 	Capacity int
 	// Tracer receives structured events when non-nil (AtMs is Unix ms).
 	Tracer trace.Tracer
+	// Dial overrides upstream (server) dialing; nil selects net.Dial.
+	// Fault-injection hook (see internal/faultnet).
+	Dial func(network, addr string) (net.Conn, error)
+	// Listen overrides the UE-side listener construction; nil selects
+	// net.Listen. Fault-injection hook.
+	Listen func(network, addr string) (net.Listener, error)
+	// ReconnectAttempts bounds upstream redial attempts after the server
+	// connection breaks. Zero selects 6.
+	ReconnectAttempts int
+	// ReconnectBase is the initial redial backoff, doubled per attempt
+	// with ±50% seeded jitter so relay fleets losing the same server do
+	// not stampede it in lockstep. Zero selects 50 ms.
+	ReconnectBase time.Duration
+	// Seed seeds the backoff jitter RNG; zero derives a seed from ID, so
+	// distinct relays jitter differently by default.
+	Seed int64
 }
 
 func (c RelayAgentConfig) validate() error {
@@ -42,7 +59,27 @@ func (c RelayAgentConfig) validate() error {
 	if c.Capacity <= 0 {
 		return fmt.Errorf("relaynet: capacity must be positive, got %d", c.Capacity)
 	}
+	if c.ReconnectAttempts < 0 || c.ReconnectBase < 0 {
+		return fmt.Errorf("relaynet: negative reconnect attempts/base (%d/%v)",
+			c.ReconnectAttempts, c.ReconnectBase)
+	}
 	return nil
+}
+
+// dial resolves the upstream dial hook.
+func (c RelayAgentConfig) dial(network, addr string) (net.Conn, error) {
+	if c.Dial != nil {
+		return c.Dial(network, addr)
+	}
+	return net.Dial(network, addr)
+}
+
+// listen resolves the UE-side listen hook.
+func (c RelayAgentConfig) listen(network, addr string) (net.Listener, error) {
+	if c.Listen != nil {
+		return c.Listen(network, addr)
+	}
+	return net.Listen(network, addr)
 }
 
 // RelayAgentStats aggregates a relay agent's behaviour.
@@ -101,6 +138,7 @@ type RelayAgent struct {
 	sources  map[hbproto.Ref]*ueConn
 	ueConns  map[*ueConn]struct{}
 	awaiting []awaitingBatch
+	rng      *rand.Rand // backoff jitter; owned by run goroutine
 }
 
 // awaitingBatch tracks a transmitted batch until the server acknowledges
@@ -118,6 +156,16 @@ func NewRelayAgent(cfg RelayAgentConfig) (*RelayAgent, error) {
 	if err != nil {
 		return nil, err
 	}
+	seed := cfg.Seed
+	if seed == 0 {
+		// FNV-1a over the relay ID: distinct relays jitter differently
+		// without any wall-clock dependence.
+		h := uint64(14695981039346656037)
+		for i := 0; i < len(cfg.ID); i++ {
+			h = (h ^ uint64(cfg.ID[i])) * 1099511628211
+		}
+		seed = int64(h)
+	}
 	return &RelayAgent{
 		cfg:     cfg,
 		events:  make(chan relayEvent),
@@ -125,6 +173,7 @@ func NewRelayAgent(cfg RelayAgentConfig) (*RelayAgent, error) {
 		policy:  policy,
 		sources: make(map[hbproto.Ref]*ueConn),
 		ueConns: make(map[*ueConn]struct{}),
+		rng:     rand.New(rand.NewSource(seed)),
 	}, nil
 }
 
@@ -136,11 +185,11 @@ func (r *RelayAgent) Start(listenAddr, serverAddr string) error {
 	if r.started {
 		return errors.New("relaynet: relay already started")
 	}
-	ln, err := net.Listen("tcp", listenAddr)
+	ln, err := r.cfg.listen("tcp", listenAddr)
 	if err != nil {
 		return fmt.Errorf("relaynet: relay listen: %w", err)
 	}
-	up, err := net.Dial("tcp", serverAddr)
+	up, err := r.cfg.dial("tcp", serverAddr)
 	if err != nil {
 		_ = ln.Close()
 		return fmt.Errorf("relaynet: relay dial server: %w", err)
@@ -266,9 +315,19 @@ func (r *RelayAgent) upstreamReader(conn net.Conn) {
 	}
 }
 
-// upstreamReconnectAttempts bounds the dial retries after the server
-// connection breaks; backoff doubles from 50 ms per attempt.
-const upstreamReconnectAttempts = 6
+// Default upstream reconnect policy: attempts bound the dial retries after
+// the server connection breaks; backoff doubles from the base per attempt.
+const (
+	defaultReconnectAttempts = 6
+	defaultReconnectBase     = 50 * time.Millisecond
+)
+
+// jittered spreads one backoff across [d/2, 3d/2) using the relay's seeded
+// RNG: when a whole relay fleet loses the same server, their redial storms
+// decorrelate instead of arriving in doubling lockstep.
+func (r *RelayAgent) jittered(d time.Duration) time.Duration {
+	return time.Duration(float64(d) * (0.5 + r.rng.Float64()))
+}
 
 // reconnectUpstream re-establishes the server connection after a break.
 // Batches awaiting acknowledgement are abandoned: their UEs recover through
@@ -276,12 +335,19 @@ const upstreamReconnectAttempts = 6
 func (r *RelayAgent) reconnectUpstream() bool {
 	r.awaiting = nil
 	_ = r.up.Close()
-	backoff := 50 * time.Millisecond
-	for attempt := 0; attempt < upstreamReconnectAttempts; attempt++ {
+	attempts := r.cfg.ReconnectAttempts
+	if attempts == 0 {
+		attempts = defaultReconnectAttempts
+	}
+	backoff := r.cfg.ReconnectBase
+	if backoff == 0 {
+		backoff = defaultReconnectBase
+	}
+	for attempt := 0; attempt < attempts; attempt++ {
 		if r.isClosed() {
 			return false
 		}
-		conn, err := net.Dial("tcp", r.serverAddr)
+		conn, err := r.cfg.dial("tcp", r.serverAddr)
 		if err == nil {
 			err = hbproto.WriteFrame(conn, &hbproto.Register{
 				ID: r.cfg.ID, Role: hbproto.RoleRelay, App: r.cfg.App,
@@ -303,7 +369,7 @@ func (r *RelayAgent) reconnectUpstream() bool {
 		select {
 		case <-r.done:
 			return false
-		case <-time.After(backoff):
+		case <-time.After(r.jittered(backoff)):
 		}
 		backoff *= 2
 	}

@@ -149,14 +149,25 @@ func (s *Server) SetWriteTimeout(d time.Duration) {
 // Start listens on addr (use "127.0.0.1:0" for an ephemeral port) and
 // serves until Shutdown.
 func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("relaynet: listen: %w", err)
+	}
+	if err := s.StartListener(ln); err != nil {
+		_ = ln.Close()
+		return err
+	}
+	return nil
+}
+
+// StartListener serves on a caller-provided listener (e.g. one wrapped by
+// internal/faultnet to inject accept-time and per-connection faults) until
+// Shutdown, which closes it.
+func (s *Server) StartListener(ln net.Listener) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.started {
 		return errors.New("relaynet: server already started")
-	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return fmt.Errorf("relaynet: listen: %w", err)
 	}
 	s.ln = ln
 	s.started = true

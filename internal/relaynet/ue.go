@@ -63,6 +63,17 @@ type UEClientConfig struct {
 	FeedbackTimeout time.Duration
 	// Tracer receives structured events when non-nil (AtMs is Unix ms).
 	Tracer trace.Tracer
+	// Dial overrides every outbound dial (relay and direct paths); nil
+	// selects net.Dial. Fault-injection hook (see internal/faultnet).
+	Dial func(network, addr string) (net.Conn, error)
+}
+
+// dial resolves the dial hook.
+func (c UEClientConfig) dial(network, addr string) (net.Conn, error) {
+	if c.Dial != nil {
+		return c.Dial(network, addr)
+	}
+	return net.Dial(network, addr)
 }
 
 func (c UEClientConfig) validate() error {
@@ -183,7 +194,7 @@ func (u *UEClient) dialRelay() {
 
 // dialOneRelay tries a single relay address; it returns true on success.
 func (u *UEClient) dialOneRelay(addr string) bool {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := u.cfg.dial("tcp", addr)
 	if err != nil {
 		return false
 	}
@@ -334,7 +345,7 @@ func (u *UEClient) sendDirect(hb *hbproto.Heartbeat, fallback bool) {
 	u.mu.Unlock()
 	if conn == nil {
 		var err error
-		conn, err = net.Dial("tcp", u.cfg.ServerAddr)
+		conn, err = u.cfg.dial("tcp", u.cfg.ServerAddr)
 		if err != nil {
 			return
 		}

@@ -17,21 +17,23 @@ type Kind string
 
 // Event kinds emitted by the framework.
 const (
-	KindGenerated  Kind = "hb-generated" // UE produced a heartbeat
-	KindD2DSend    Kind = "d2d-send"     // UE forwarded over D2D
-	KindD2DFail    Kind = "d2d-fail"     // D2D transfer failed
-	KindRelayBusy  Kind = "relay-busy"   // relay advertised a closed window
-	KindDirectSend Kind = "direct-send"  // UE sent straight over cellular
-	KindFallback   Kind = "fallback"     // feedback timeout → duplicate send
-	KindAck        Kind = "ack"          // UE received feedback
-	KindMatch      Kind = "match"        // UE connected to a relay
-	KindMatchFail  Kind = "match-fail"   // discovery found no usable relay
-	KindCollect    Kind = "collect"      // relay accepted a forwarded heartbeat
-	KindReject     Kind = "reject"       // relay refused (closed/expired)
-	KindFlush      Kind = "flush"        // relay transmitted a batch
-	KindDelivery   Kind = "delivery"     // heartbeat observed at the network
-	KindConnDrop   Kind = "conn-drop"    // server dropped a connection (protocol error, idle timeout)
-	KindStop       Kind = "stop"         // device stopped
+	KindGenerated   Kind = "hb-generated" // UE produced a heartbeat
+	KindD2DSend     Kind = "d2d-send"     // UE forwarded over D2D
+	KindD2DFail     Kind = "d2d-fail"     // D2D transfer failed
+	KindRelayBusy   Kind = "relay-busy"   // relay advertised a closed window
+	KindDirectSend  Kind = "direct-send"  // UE sent straight over cellular
+	KindFallback    Kind = "fallback"     // feedback timeout → duplicate send
+	KindAck         Kind = "ack"          // UE received feedback
+	KindMatch       Kind = "match"        // UE connected to a relay
+	KindMatchFail   Kind = "match-fail"   // discovery found no usable relay
+	KindCollect     Kind = "collect"      // relay accepted a forwarded heartbeat
+	KindReject      Kind = "reject"       // relay refused (closed/expired)
+	KindFlush       Kind = "flush"        // relay transmitted a batch
+	KindDelivery    Kind = "delivery"     // heartbeat observed at the network
+	KindConnDrop    Kind = "conn-drop"    // server dropped a connection (protocol error, idle timeout)
+	KindStop        Kind = "stop"         // device stopped
+	KindFault       Kind = "fault"        // faultnet injected one fault (Reason = fault kind)
+	KindFaultWindow Kind = "fault-window" // a scheduled fault window opened (Reason = fault kind)
 )
 
 // Event is one trace record. Zero-valued optional fields are omitted from
