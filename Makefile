@@ -3,15 +3,25 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench repro examples load chaos fuzz fmt clean
+.PHONY: all build vet lint test race bench repro examples load chaos fuzz fmt clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Full static-analysis gate: go vet, gofmt cleanliness, and the project
+# suite (cmd/d2dvet) enforcing determinism, lock/IO hygiene and
+# wire-protocol invariants.
+lint: vet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) run ./cmd/d2dvet ./...
 
 test:
 	$(GO) test ./...

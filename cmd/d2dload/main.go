@@ -122,9 +122,21 @@ func run(ues, relays int, relayRatio float64, apps string, duration time.Duratio
 			return err
 		}
 		fmt.Printf("\nJSON report written to %s\n", jsonPath)
-		return nil
+	} else {
+		fmt.Printf("\n%s\n", js)
 	}
-	fmt.Printf("\n%s\n", js)
+	return runOutcome(rep)
+}
+
+// runOutcome decides the exit status from the final report: a run where
+// not one heartbeat left a UE while dial/write errors piled up measured
+// nothing — the report is still printed for diagnosis, but the process
+// must not exit 0 as if a capacity measurement happened.
+func runOutcome(rep loadgen.Report) error {
+	if rep.Sent == 0 && rep.Errors > 0 {
+		return fmt.Errorf("run aborted: no heartbeat was ever sent (%d dial errors, %d write errors)",
+			rep.DialErrors, rep.WriteErrors)
+	}
 	return nil
 }
 

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"d2dhb/internal/loadgen"
+)
+
+func TestRunOutcome(t *testing.T) {
+	cases := []struct {
+		name    string
+		rep     loadgen.Report
+		wantErr string
+	}{
+		{"clean run", loadgen.Report{Sent: 100, Acked: 100}, ""},
+		{"lossy but live run", loadgen.Report{Sent: 100, Acked: 40, Errors: 60, DialErrors: 60}, ""},
+		{"aborted run", loadgen.Report{Sent: 0, Errors: 12, DialErrors: 10, WriteErrors: 2}, "run aborted"},
+		{"idle run", loadgen.Report{}, ""},
+	}
+	for _, tc := range cases {
+		err := runOutcome(tc.rep)
+		switch {
+		case tc.wantErr == "" && err != nil:
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		case tc.wantErr != "" && err == nil:
+			t.Errorf("%s: expected error, got nil", tc.name)
+		case tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr):
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestParseAppMix(t *testing.T) {
+	profiles, err := parseAppMix("wechat:2,qq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 3 || profiles[0].Name != profiles[1].Name {
+		t.Fatalf("weighting broken: %+v", profiles)
+	}
+	for _, bad := range []string{"", "nosuchapp", "wechat:0", "wechat:x"} {
+		if _, err := parseAppMix(bad); err == nil {
+			t.Errorf("mix %q accepted", bad)
+		}
+	}
+}

@@ -81,7 +81,7 @@ func runConfig(path string, tracer trace.Tracer) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only: nothing buffered to lose
 	cfg, err := scenariopkg.Load(f)
 	if err != nil {
 		return err

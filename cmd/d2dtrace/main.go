@@ -35,7 +35,7 @@ func run(path string) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() { _ = f.Close() }() // read-only: nothing buffered to lose
 	events, err := trace.ReadJSONL(f)
 	if err != nil {
 		return err

@@ -1,0 +1,68 @@
+// Command d2dvet runs the project's static-analysis suite over Go package
+// patterns and reports invariant violations the compiler cannot see:
+// wall-clock reads in simulation-clocked packages, unseeded global
+// randomness, blocking calls under a held mutex, dropped network-layer
+// errors, and ad-hoc trace event kinds.
+//
+// Usage:
+//
+//	d2dvet [-list] [packages]
+//
+// Patterns default to ./... . Exit status is 0 when clean, 1 when any
+// finding survives suppression, 2 on a driver error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"d2dhb/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and their invariants, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: d2dvet [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the project static-analysis suite (default pattern ./...).\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers {
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(wd)
+	if err != nil {
+		fatal(err)
+	}
+	findings, err := loader.Run(lint.DefaultConfig(loader.ModulePath), patterns)
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "d2dvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "d2dvet:", err)
+	os.Exit(2)
+}

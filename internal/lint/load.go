@@ -1,0 +1,311 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked module package: its syntax, its types and
+// the shared file set. Test files are never loaded — the analyzers enforce
+// production-code invariants, and tests legitimately sleep, use wall time
+// and drive randomness.
+type Package struct {
+	// Path is the import path ("d2dhb/internal/relaynet").
+	Path string
+	// Dir is the directory holding the sources.
+	Dir string
+	// Fset is the loader-wide file set (shared across packages).
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, with comments.
+	Files []*ast.File
+	// Types is the checked package.
+	Types *types.Package
+	// Info holds the type-checker's fact maps for Files.
+	Info *types.Info
+}
+
+// pkgMeta is the subset of `go list -json` output the loader consumes.
+type pkgMeta struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+// Loader parses and type-checks module packages from source, resolving
+// every external dependency (the standard library) through compiled export
+// data obtained from `go list -export`. It is stdlib-only — go/parser,
+// go/types and go/importer, no x/tools — and memoizes checked packages so
+// one run type-checks each package exactly once.
+type Loader struct {
+	// ModuleDir is the directory containing go.mod.
+	ModuleDir string
+	// ModulePath is the module path declared in go.mod.
+	ModulePath string
+	// Fset positions every parsed file.
+	Fset *token.FileSet
+
+	metas   map[string]*pkgMeta // go list facts by import path
+	checked map[string]*Package // type-checked module packages
+	order   []string            // insertion order of checked
+	loading map[string]bool     // cycle guard
+	gc      types.Importer      // export-data importer for non-module deps
+}
+
+// NewLoader locates the enclosing module of dir and prepares a loader.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		ModuleDir:  root,
+		ModulePath: modPath,
+		Fset:       token.NewFileSet(),
+		metas:      make(map[string]*pkgMeta),
+		checked:    make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}
+	l.gc = importer.ForCompiler(l.Fset, "gc", l.lookupExport)
+	return l, nil
+}
+
+// findModule walks up from dir to the first go.mod and returns its
+// directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module"); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module line", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// golist runs `go list -json` with the given extra arguments in the module
+// directory and decodes the JSON stream.
+func (l *Loader) golist(args ...string) ([]*pkgMeta, error) {
+	full := append([]string{"list", "-json=ImportPath,Dir,GoFiles,Export,Standard,Module"}, args...)
+	cmd := exec.Command("go", full...)
+	cmd.Dir = l.ModuleDir
+	var out, stderr bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var metas []*pkgMeta
+	dec := json.NewDecoder(&out)
+	for {
+		m := new(pkgMeta)
+		if err := dec.Decode(m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}
+
+// register records go list facts, preferring entries that carry export
+// data over ones that do not.
+func (l *Loader) register(metas []*pkgMeta) {
+	for _, m := range metas {
+		if prev, ok := l.metas[m.ImportPath]; !ok || (prev.Export == "" && m.Export != "") {
+			l.metas[m.ImportPath] = m
+		}
+	}
+}
+
+// LoadPatterns resolves go package patterns (e.g. "./...") and returns the
+// matched module packages, parsed and type-checked. The full dependency
+// closure's export data is fetched in one `go list -export -deps` call so
+// later imports hit the cache.
+func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
+	deps, err := l.golist(append([]string{"-export", "-deps"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	l.register(deps)
+	roots, err := l.golist(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, m := range roots {
+		if !l.isModulePath(m.ImportPath) {
+			continue
+		}
+		p, err := l.load(m.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ModulePackages returns every module package checked so far, in load
+// order.
+func (l *Loader) ModulePackages() []*Package {
+	out := make([]*Package, 0, len(l.order))
+	for _, path := range l.order {
+		out = append(out, l.checked[path])
+	}
+	return out
+}
+
+func (l *Loader) isModulePath(p string) bool {
+	return p == l.ModulePath || strings.HasPrefix(p, l.ModulePath+"/")
+}
+
+// Import implements types.Importer: module packages are checked from
+// source (memoized), "unsafe" is the magic package, everything else comes
+// from compiled export data.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.isModulePath(path) {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.gc.Import(path)
+}
+
+// lookupExport opens a package's compiled export data, consulting go list
+// on demand for paths outside the preloaded closure.
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	m := l.metas[path]
+	if m == nil || m.Export == "" {
+		metas, err := l.golist("-export", path)
+		if err != nil {
+			return nil, err
+		}
+		l.register(metas)
+		m = l.metas[path]
+	}
+	if m == nil || m.Export == "" {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	return os.Open(m.Export)
+}
+
+// load parses and type-checks one module package by import path.
+func (l *Loader) load(path string) (*Package, error) {
+	if p := l.checked[path]; p != nil {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	m := l.metas[path]
+	if m == nil {
+		metas, err := l.golist(path)
+		if err != nil {
+			return nil, err
+		}
+		l.register(metas)
+		if m = l.metas[path]; m == nil {
+			return nil, fmt.Errorf("lint: package %q not found", path)
+		}
+	}
+	var files []*ast.File
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(m.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return l.check(path, m.Dir, files)
+}
+
+// LoadDir parses and type-checks every non-test .go file in dir as a
+// package with the given synthetic import path. Used by the golden-file
+// tests to load testdata packages that `go list` does not see.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return l.check(asPath, dir, files)
+}
+
+// check type-checks one parsed package and memoizes it.
+func (l *Loader) check(path, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, errs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.checked[path] = p
+	l.order = append(l.order, path)
+	return p, nil
+}

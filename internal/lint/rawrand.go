@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Rawrand forbids the unseeded global math/rand generators.
+//
+// Fault schedules (internal/faultnet), load arrival jitter and relay
+// backoff all replay bit-for-bit because every random draw flows from an
+// explicitly seeded *rand.Rand. One call to a package-level math/rand
+// function reintroduces shared global state: runs stop reproducing,
+// seeded chaos timelines diverge, and two components can perturb each
+// other's streams. Constructors (rand.New, rand.NewSource, ...) are the
+// sanctioned way in and stay allowed.
+var Rawrand = &Analyzer{
+	Name: "rawrand",
+	Doc:  "no unseeded global math/rand functions; every randomness source must be an explicitly seeded *rand.Rand",
+	Run:  runRawrand,
+}
+
+// randConstructors build seeded generators and are the allowed entry
+// points into math/rand and math/rand/v2.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runRawrand(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Methods on *rand.Rand are fine — the receiver carries the
+			// seed. Only package-level draws hit the global generator.
+			if fn.Type().(*types.Signature).Recv() != nil || randConstructors[fn.Name()] {
+				return true
+			}
+			p.Reportf(sel.Pos(), "%s.%s draws from the unseeded global generator; use a seeded *rand.Rand so fault and load schedules replay bit-for-bit", path, fn.Name())
+			return true
+		})
+	}
+}

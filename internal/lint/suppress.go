@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"strings"
+)
+
+// allowPrefix introduces a suppression comment:
+//
+//	//lint:allow <analyzer>[,<analyzer>...] <reason>
+//
+// The directive silences matching findings on its own line and on the
+// line directly below it (so it can trail the offending statement or sit
+// on its own line above). The reason is mandatory.
+const allowPrefix = "//lint:allow"
+
+// directive is one parsed //lint:allow comment.
+type directive struct {
+	names  []string
+	reason string
+}
+
+// covers reports whether the directive suppresses the analyzer.
+func (d *directive) covers(analyzer string) bool {
+	for _, n := range d.names {
+		if n == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// applySuppressions removes findings covered by a //lint:allow directive
+// and appends a finding for every malformed (reason-less) directive.
+func applySuppressions(findings []Finding, pkgs []*Package) []Finding {
+	byLine := make(map[string]map[int][]*directive)
+	var malformed []Finding
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, allowPrefix) {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					fields := strings.Fields(strings.TrimPrefix(c.Text, allowPrefix))
+					if len(fields) < 2 {
+						malformed = append(malformed, Finding{
+							Pos:      pos,
+							Analyzer: "lint",
+							Message:  "malformed //lint:allow directive: need an analyzer name and a reason, e.g. //lint:allow walltime startup banner uses wall time by design",
+						})
+						continue
+					}
+					d := &directive{
+						names:  strings.Split(fields[0], ","),
+						reason: strings.Join(fields[1:], " "),
+					}
+					lines := byLine[pos.Filename]
+					if lines == nil {
+						lines = make(map[int][]*directive)
+						byLine[pos.Filename] = lines
+					}
+					lines[pos.Line] = append(lines[pos.Line], d)
+				}
+			}
+		}
+	}
+	out := findings[:0]
+	for _, f := range findings {
+		if !suppressed(byLine, f) {
+			out = append(out, f)
+		}
+	}
+	return append(out, malformed...)
+}
+
+// suppressed reports whether a directive on the finding's line or the
+// line above covers it.
+func suppressed(byLine map[string]map[int][]*directive, f Finding) bool {
+	lines := byLine[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, d := range lines[line] {
+			if d.covers(f.Analyzer) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,10 @@
+// Package badallow holds a reason-less //lint:allow directive: the driver
+// must report the directive itself and keep the underlying finding alive.
+package badallow
+
+import "math/rand"
+
+func roll() int {
+	//lint:allow rawrand
+	return rand.Intn(6)
+}

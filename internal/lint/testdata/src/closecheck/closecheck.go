@@ -1,0 +1,39 @@
+// Package closecheck exercises the closecheck analyzer: dropped errors
+// from Conn.Write, Close and Flush are flagged; returned, checked or
+// explicitly discarded errors are not, and //lint:allow silences an
+// intentional drop.
+package closecheck
+
+import (
+	"bufio"
+	"net"
+)
+
+func sendRaw(conn net.Conn, b []byte) {
+	conn.Write(b) // want `expression statement discards the error from net\.Conn\.Write`
+}
+
+func leakyClose(conn net.Conn) {
+	defer conn.Close() // want `deferred call discards the error from net\.Conn\.Close`
+}
+
+func flushAll(w *bufio.Writer) {
+	w.Flush() // want `expression statement discards the error from \*bufio\.Writer\.Flush`
+}
+
+func shutdown(conn net.Conn) error {
+	return conn.Close() // error is propagated
+}
+
+func sendChecked(conn net.Conn, b []byte) error {
+	_, err := conn.Write(b) // error is captured
+	return err
+}
+
+func bestEffort(conn net.Conn) {
+	_ = conn.Close() // explicit, review-visible discard
+}
+
+func closeAtExit(ln net.Listener) {
+	defer ln.Close() //lint:allow closecheck listener close at process exit has no recovery path
+}

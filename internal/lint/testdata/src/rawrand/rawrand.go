@@ -1,0 +1,27 @@
+// Package rawrand exercises the rawrand analyzer: package-level math/rand
+// draws are flagged, seeded generators and constructors are not, and
+// //lint:allow silences an intentional global use.
+package rawrand
+
+import "math/rand"
+
+func newRng(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // constructors are the sanctioned entry
+}
+
+func jitter(rng *rand.Rand) float64 {
+	return rng.Float64() // receiver carries the seed
+}
+
+func badJitter() float64 {
+	return rand.Float64() // want `rand\.Float64 draws from the unseeded global generator`
+}
+
+func badPick(n int) int {
+	return rand.Intn(n) // want `rand\.Intn draws from the unseeded global generator`
+}
+
+func shuffle(xs []int) {
+	//lint:allow rawrand demo helper, replayability deliberately out of scope
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,56 @@
+// Package tracekey exercises the tracekey analyzer: ad-hoc event kinds
+// are flagged wherever a Kind flows (composite literal, field assignment,
+// call argument); package-level constants, constant-fed locals, parameters
+// and suppressed sites are not.
+package tracekey
+
+import "d2dhb/internal/trace"
+
+// kindLocalFlush is a package-level constant and therefore enumerable.
+const kindLocalFlush = trace.Kind("local-flush")
+
+func emitGood(tr trace.Tracer, dev string) {
+	trace.Emit(tr, trace.Event{Device: dev, Kind: trace.KindGenerated})
+}
+
+func emitLocalConst(tr trace.Tracer) {
+	trace.Emit(tr, trace.Event{Kind: kindLocalFlush})
+}
+
+func emitBranch(tr trace.Tracer, fallback bool) {
+	kind := trace.KindDirectSend
+	if fallback {
+		kind = trace.KindFallback
+	}
+	trace.Emit(tr, trace.Event{Kind: kind}) // every assignment is a constant
+}
+
+func emitParam(tr trace.Tracer, k trace.Kind) {
+	trace.Emit(tr, trace.Event{Kind: k}) // parameters are checked at call sites
+}
+
+func emitBad(tr trace.Tracer, dev string) {
+	trace.Emit(tr, trace.Event{Device: dev, Kind: trace.Kind("hb-" + dev)}) // want `not a package-level constant`
+}
+
+func emitLiteral(tr trace.Tracer) {
+	trace.Emit(tr, trace.Event{Kind: "raw-string"}) // want `not a package-level constant`
+}
+
+func mutateBad(ev *trace.Event) {
+	ev.Kind = trace.Kind("mutated") // want `not a package-level constant`
+}
+
+func record(k trace.Kind) {
+	_ = k
+}
+
+func callSites() {
+	record(trace.KindAck)
+	record("oops") // want `not a package-level constant`
+}
+
+func emitDebug(tr trace.Tracer, label string) {
+	//lint:allow tracekey debug-only kind never reaches the offline analyzers
+	trace.Emit(tr, trace.Event{Kind: trace.Kind(label)})
+}

@@ -1,0 +1,34 @@
+// Package walltime exercises the walltime analyzer: package-level
+// wall-clock reads are flagged, duration arithmetic and time.Time methods
+// are not, and //lint:allow silences an intentional use.
+package walltime
+
+import "time"
+
+// bootEpoch is stamped once at process start, outside any simulated
+// timeline.
+var bootEpoch = time.Now() //lint:allow walltime process boot stamp is outside the simulated timeline
+
+func deadline(now time.Time, period time.Duration) time.Time {
+	return now.Add(3 * period) // pure arithmetic on an injected timestamp
+}
+
+func isPast(t, now time.Time) bool {
+	return now.After(t) // time.Time method, not the package-level After
+}
+
+func tick() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func wait(d time.Duration) {
+	time.Sleep(d) // want `time\.Sleep reads the wall clock`
+}
+
+func expiry(d time.Duration) <-chan time.Time {
+	return time.After(d) // want `time\.After reads the wall clock`
+}
+
+func age() time.Duration {
+	return time.Since(bootEpoch) // want `time\.Since reads the wall clock`
+}

@@ -1,0 +1,294 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Tracekey requires trace event kinds to be package-level constants.
+//
+// Every offline consumer of the JSONL trace stream — the analyzer CLI,
+// the chaos suite's invariant checks, plot scripts — switches on the
+// Kind string. A kind built at runtime (fmt.Sprintf, string
+// concatenation, a raw literal at the emit site) cannot be grepped,
+// cannot be exhaustively matched, and silently forks the schema. The
+// analyzer accepts package-level constants of type trace.Kind, values
+// that provably flow only from such constants (locals whose every
+// assignment is a constant, parameters, conversions of the former), and
+// nothing else.
+var Tracekey = &Analyzer{
+	Name: "tracekey",
+	Doc:  "trace event kinds must be package-level constants of type trace.Kind, never ad-hoc strings",
+	Run:  runTracekey,
+}
+
+func runTracekey(p *Pass) {
+	tracePath := p.Module + "/internal/trace"
+	if p.Pkg.Path == tracePath {
+		return // the package that defines the constants
+	}
+	tk := &tracekeyPass{pass: p, tracePath: tracePath}
+	for _, f := range p.Pkg.Files {
+		tk.file = f
+		ast.Inspect(f, tk.inspect)
+	}
+}
+
+type tracekeyPass struct {
+	pass      *Pass
+	tracePath string
+	file      *ast.File
+}
+
+// isKindType reports whether t is the trace package's Kind type.
+func (tk *tracekeyPass) isKindType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Kind" && obj.Pkg() != nil && obj.Pkg().Path() == tk.tracePath
+}
+
+// isEventType reports whether t is the trace package's Event struct.
+func (tk *tracekeyPass) isEventType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Event" && obj.Pkg() != nil && obj.Pkg().Path() == tk.tracePath
+}
+
+func (tk *tracekeyPass) inspect(n ast.Node) bool {
+	info := tk.pass.Pkg.Info
+	switch x := n.(type) {
+	case *ast.CompositeLit:
+		tv, ok := info.Types[x]
+		if !ok || !tk.isEventType(tv.Type) {
+			return true
+		}
+		for _, elt := range x.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Kind" {
+				tk.checkValue(kv.Value)
+			}
+		}
+	case *ast.AssignStmt:
+		for i, lhs := range x.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Kind" || i >= len(x.Rhs) {
+				continue
+			}
+			if tv, ok := info.Types[sel.X]; ok && tk.isEventType(tv.Type) {
+				tk.checkValue(x.Rhs[i])
+			}
+		}
+	case *ast.CallExpr:
+		if tv, ok := info.Types[x.Fun]; ok && tv.IsType() {
+			return true // conversions are handled inside checkValue
+		}
+		fn := callee(info, x)
+		if fn == nil {
+			return true
+		}
+		sig := fn.Type().(*types.Signature)
+		for i, arg := range x.Args {
+			var pt types.Type
+			switch {
+			case sig.Variadic() && i >= sig.Params().Len()-1:
+				slice, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice)
+				if !ok {
+					continue
+				}
+				pt = slice.Elem()
+			case i < sig.Params().Len():
+				pt = sig.Params().At(i).Type()
+			default:
+				continue
+			}
+			if tk.isKindType(pt) {
+				tk.checkValue(arg)
+			}
+		}
+	}
+	return true
+}
+
+// checkValue reports the expression unless it provably enumerates to
+// package-level trace.Kind constants.
+func (tk *tracekeyPass) checkValue(e ast.Expr) {
+	if !tk.enumerable(e, 0) {
+		tk.pass.Reportf(e.Pos(), "trace event kind is not a package-level constant; define a Kind constant in internal/trace so offline consumers can match it exhaustively")
+	}
+}
+
+const maxEnumDepth = 4
+
+// enumerable reports whether the expression's value can only ever be one
+// of a statically known set of package-level constants.
+func (tk *tracekeyPass) enumerable(e ast.Expr, depth int) bool {
+	if depth > maxEnumDepth {
+		return false
+	}
+	info := tk.pass.Pkg.Info
+	e = ast.Unparen(e)
+	switch x := e.(type) {
+	case *ast.Ident:
+		return tk.enumerableObject(info.Uses[x], e, depth)
+	case *ast.SelectorExpr:
+		return tk.enumerableObject(info.Uses[x.Sel], e, depth)
+	case *ast.CallExpr:
+		// A conversion Kind(v) is as enumerable as its operand.
+		if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			return tk.enumerable(x.Args[0], depth+1)
+		}
+	}
+	return false
+}
+
+// enumerableObject handles a name reference: package-level constants are
+// the base case; parameters are trusted (the caller is checked at its own
+// call sites); local variables are enumerable when every assignment to
+// them in the enclosing function is.
+func (tk *tracekeyPass) enumerableObject(obj types.Object, ref ast.Expr, depth int) bool {
+	switch o := obj.(type) {
+	case *types.Const:
+		return o.Parent() == o.Pkg().Scope()
+	case *types.Var:
+		body := tk.enclosingBody(ref.Pos())
+		if body == nil {
+			return false
+		}
+		if tk.isParam(o, body) {
+			return true
+		}
+		return tk.localAlwaysEnumerable(o, body, depth)
+	}
+	return false
+}
+
+// enclosingBody returns the innermost function body containing pos.
+func (tk *tracekeyPass) enclosingBody(pos token.Pos) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	ast.Inspect(tk.file, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			body = x.Body
+		case *ast.FuncLit:
+			body = x.Body
+		default:
+			return true
+		}
+		if body != nil && body.Pos() <= pos && pos < body.End() {
+			best = body // keep descending: innermost wins
+		}
+		return true
+	})
+	return best
+}
+
+// isParam reports whether v is declared as a parameter of the function
+// owning body.
+func (tk *tracekeyPass) isParam(v *types.Var, body *ast.BlockStmt) bool {
+	info := tk.pass.Pkg.Info
+	found := false
+	ast.Inspect(tk.file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		var ft *ast.FuncType
+		var b *ast.BlockStmt
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			ft, b = x.Type, x.Body
+		case *ast.FuncLit:
+			ft, b = x.Type, x.Body
+		default:
+			return true
+		}
+		if b != body || ft.Params == nil {
+			return true
+		}
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				if info.Defs[name] == v {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// localAlwaysEnumerable reports whether every assignment to the local
+// variable within body has an enumerable right-hand side (and at least
+// one assignment exists).
+func (tk *tracekeyPass) localAlwaysEnumerable(v *types.Var, body *ast.BlockStmt, depth int) bool {
+	info := tk.pass.Pkg.Info
+	sawAssign := false
+	allEnumerable := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		if !allEnumerable {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				// Multi-value unpacking: give up if it targets v.
+				for _, lhs := range x.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok && tk.refersTo(info, id, v) {
+						allEnumerable = false
+					}
+				}
+				return true
+			}
+			for i, lhs := range x.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || !tk.refersTo(info, id, v) {
+					continue
+				}
+				sawAssign = true
+				if !tk.enumerable(x.Rhs[i], depth+1) {
+					allEnumerable = false
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range x.Names {
+				if info.Defs[name] != v {
+					continue
+				}
+				if i >= len(x.Values) {
+					continue // zero value: Kind("") — not a named constant
+				}
+				sawAssign = true
+				if !tk.enumerable(x.Values[i], depth+1) {
+					allEnumerable = false
+				}
+			}
+		case *ast.UnaryExpr:
+			// &v escapes: any write could happen through the pointer.
+			if x.Op == token.AND {
+				if id, ok := ast.Unparen(x.X).(*ast.Ident); ok && tk.refersTo(info, id, v) {
+					allEnumerable = false
+				}
+			}
+		}
+		return true
+	})
+	return sawAssign && allEnumerable
+}
+
+// refersTo reports whether the identifier defines or uses v.
+func (tk *tracekeyPass) refersTo(info *types.Info, id *ast.Ident, v *types.Var) bool {
+	return info.Defs[id] == v || info.Uses[id] == v
+}

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Walltime forbids wall-clock timing in simulation-clocked packages.
+//
+// The deterministic kernel (internal/simtime) owns time in the simulation
+// layer: every delay, timer and timestamp must come from the injected
+// virtual clock. A single time.Now() or time.Sleep() in those packages
+// silently couples a run to the host scheduler — results stop being
+// bit-reproducible, resume-from-seed breaks, and the chaos suite's
+// determinism guarantee (PR 2) is void. The compiler cannot catch this;
+// this analyzer does.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "no time.Now/Sleep/After/NewTimer/NewTicker in simulation-clocked packages; use the injected simtime clock",
+	Run:  runWalltime,
+}
+
+// wallClockFuncs are the package-level time functions that read or wait on
+// the wall clock. Pure arithmetic (time.Duration, ParseDuration, Unix) is
+// fine.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+func runWalltime(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			// Methods like (time.Time).After or (*time.Timer).Reset are
+			// pure given their receiver; only the package-level functions
+			// touch the wall clock.
+			if fn.Type().(*types.Signature).Recv() != nil || !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			p.Reportf(sel.Pos(), "time.%s reads the wall clock in simulation-clocked package %s; route timing through the injected simtime clock so runs stay deterministic", fn.Name(), p.Pkg.Path)
+			return true
+		})
+	}
+}

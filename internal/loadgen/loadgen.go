@@ -246,6 +246,15 @@ func (r *Runner) Run() (Report, error) {
 // address was configured.
 func (r *Runner) startServer() error {
 	if r.cfg.ServerAddr != "" {
+		// Probe the external server before spinning up the fleet: an
+		// unreachable target should abort the run with an error, not burn
+		// the full duration accumulating dial failures and then report a
+		// zero-heartbeat "result" as if the measurement succeeded.
+		probe, err := net.DialTimeout("tcp", r.cfg.ServerAddr, 2*time.Second)
+		if err != nil {
+			return fmt.Errorf("loadgen: server %s unreachable: %w", r.cfg.ServerAddr, err)
+		}
+		_ = probe.Close()
 		r.serverAddr = r.cfg.ServerAddr
 		return nil
 	}

@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"encoding/json"
+	"net"
 	"strings"
 	"testing"
 	"time"
@@ -207,5 +208,37 @@ func TestConcurrentFleetStress(t *testing.T) {
 	}
 	if rep.Relay == nil || rep.Relay.Forwarded == 0 {
 		t.Fatalf("relays idle: %+v", rep.Relay)
+	}
+}
+
+// An external server that never answers must abort the run at startup:
+// burning the full duration on dial errors and then reporting zero
+// heartbeats as a "measurement" hides the failure behind exit 0.
+func TestExternalServerUnreachableFailsFast(t *testing.T) {
+	// Reserve a port, then close the listener so nothing answers there.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	r, err := New(Config{
+		UEs:        5,
+		Profiles:   []hbmsg.AppProfile{fastProfile(50 * time.Millisecond)},
+		Duration:   10 * time.Second, // must NOT be waited out
+		ServerAddr: addr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := r.Run(); err == nil {
+		t.Fatal("Run succeeded against an unreachable server")
+	} else if !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("abort took %v; the probe should fail well before the run duration", elapsed)
 	}
 }

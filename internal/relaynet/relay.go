@@ -179,20 +179,35 @@ func NewRelayAgent(cfg RelayAgentConfig) (*RelayAgent, error) {
 
 // Start listens for UE connections on listenAddr and connects upstream to
 // the server.
+//
+// The listen/dial/register sequence runs outside r.mu: these calls block
+// on the network, and holding the agent lock across them would stall
+// Addr, Stats and Shutdown for a full dial timeout when the server is
+// unreachable. The started flag reserves the slot up front so a
+// concurrent Start fails fast instead of racing the setup.
 func (r *RelayAgent) Start(listenAddr, serverAddr string) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.started {
+		r.mu.Unlock()
 		return errors.New("relaynet: relay already started")
+	}
+	r.started = true
+	r.mu.Unlock()
+
+	fail := func(err error) error {
+		r.mu.Lock()
+		r.started = false
+		r.mu.Unlock()
+		return err
 	}
 	ln, err := r.cfg.listen("tcp", listenAddr)
 	if err != nil {
-		return fmt.Errorf("relaynet: relay listen: %w", err)
+		return fail(fmt.Errorf("relaynet: relay listen: %w", err))
 	}
 	up, err := r.cfg.dial("tcp", serverAddr)
 	if err != nil {
 		_ = ln.Close()
-		return fmt.Errorf("relaynet: relay dial server: %w", err)
+		return fail(fmt.Errorf("relaynet: relay dial server: %w", err))
 	}
 	if err := hbproto.WriteFrame(up, &hbproto.Register{
 		ID: r.cfg.ID, Role: hbproto.RoleRelay, App: r.cfg.App,
@@ -200,13 +215,24 @@ func (r *RelayAgent) Start(listenAddr, serverAddr string) error {
 	}); err != nil {
 		_ = ln.Close()
 		_ = up.Close()
-		return fmt.Errorf("relaynet: relay register: %w", err)
+		return fail(fmt.Errorf("relaynet: relay register: %w", err))
+	}
+
+	r.mu.Lock()
+	if r.closed {
+		// Shutdown ran while we were dialing: it saw started=true but had
+		// no connections to close, so close them here.
+		r.mu.Unlock()
+		_ = ln.Close()
+		_ = up.Close()
+		return errors.New("relaynet: relay shut down during start")
 	}
 	r.ln = ln
 	r.up = up
 	r.serverAddr = serverAddr
-	r.started = true
 	r.wg.Add(3)
+	r.mu.Unlock()
+
 	go r.acceptLoop()
 	go r.upstreamReader(up)
 	go r.run()
@@ -240,8 +266,14 @@ func (r *RelayAgent) Shutdown() {
 	}
 	r.closed = true
 	close(r.done)
-	_ = r.ln.Close()
-	_ = r.up.Close()
+	// ln/up are nil when Start is still mid-dial; Start sees closed=true
+	// and closes its own connections.
+	if r.ln != nil {
+		_ = r.ln.Close()
+	}
+	if r.up != nil {
+		_ = r.up.Close()
+	}
 	r.mu.Unlock()
 	r.wg.Wait()
 }
