@@ -9,6 +9,13 @@
 //	        [-duration 10s] [-speedup 100] [-arrival steady|ramp|spike]
 //	        [-window 0] [-report 5s] [-timeout 0] [-capacity 0]
 //	        [-server host:port] [-json path] [-fault spec]
+//	        [-telemetry host:port] [-metrics host:port]
+//
+// -telemetry serves the run's own live metrics (fleet counters, latency
+// histograms and — for in-process runs — server/relay instruments) plus
+// pprof. -metrics names an external server's telemetry listener; each
+// report scrapes its /metrics.json so the capacity report captures both
+// ends of the measurement.
 //
 // App profile periods are divided by -speedup so commercial multi-minute
 // heartbeat intervals compress into short runs. The final report prints as
@@ -32,6 +39,7 @@ import (
 	"d2dhb/internal/faultnet"
 	"d2dhb/internal/hbmsg"
 	"d2dhb/internal/loadgen"
+	"d2dhb/internal/telemetry"
 )
 
 func main() {
@@ -50,10 +58,13 @@ func main() {
 		server     = flag.String("server", "", "external presence server address (default: in-process)")
 		jsonPath   = flag.String("json", "", "write the final JSON report to this file instead of stdout")
 		fault      = flag.String("fault", "", "fault-injection spec, e.g. seed=42,latency=5ms,corrupt=0.01,partition=3s+1s")
+		telemAddr  = flag.String("telemetry", "", "serve the run's own /metrics, /metrics.json and pprof on this address")
+		metrics    = flag.String("metrics", "", "external server's telemetry address to scrape /metrics.json from")
 	)
 	flag.Parse()
 	if err := run(*ues, *relays, *relayRatio, *apps, *duration, *speedup,
-		*arrival, *window, *report, *timeout, *capacity, *server, *jsonPath, *fault); err != nil {
+		*arrival, *window, *report, *timeout, *capacity, *server, *jsonPath, *fault,
+		*telemAddr, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "d2dload:", err)
 		os.Exit(1)
 	}
@@ -61,7 +72,7 @@ func main() {
 
 func run(ues, relays int, relayRatio float64, apps string, duration time.Duration,
 	speedup float64, arrival string, window, report, timeout time.Duration,
-	capacity int, server, jsonPath, fault string) error {
+	capacity int, server, jsonPath, fault, telemAddr, metricsAddr string) error {
 	raiseFDLimit()
 	shape, err := loadgen.ParseArrivalShape(arrival)
 	if err != nil {
@@ -88,6 +99,17 @@ func run(ues, relays int, relayRatio float64, apps string, duration time.Duratio
 		ReportEvery:   report,
 		ServerAddr:    server,
 		Faults:        faults,
+		MetricsAddr:   metricsAddr,
+	}
+	if telemAddr != "" {
+		reg := telemetry.NewRegistry()
+		cfg.Telemetry = reg
+		ts, err := telemetry.Serve(telemAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ts.Close()
+		fmt.Printf("telemetry on http://%s/metrics\n", ts.Addr())
 	}
 	if report > 0 {
 		cfg.OnReport = func(rep loadgen.Report) {

@@ -7,6 +7,10 @@
 //
 //	d2drelay [-id relay-1] [-listen 127.0.0.1:7401] [-server 127.0.0.1:7400]
 //	         [-period 270s] [-expiry 270s] [-capacity 8] [-report 5s]
+//	         [-telemetry 127.0.0.1:7481]
+//
+// With -telemetry the relay exposes live scheduler and forwarding metrics
+// over HTTP: /metrics, /metrics.json and /debug/pprof.
 package main
 
 import (
@@ -18,28 +22,41 @@ import (
 	"time"
 
 	"d2dhb/internal/relaynet"
+	"d2dhb/internal/telemetry"
 )
 
 func main() {
 	var (
-		id       = flag.String("id", "relay-1", "relay device id")
-		listen   = flag.String("listen", "127.0.0.1:7401", "UE-side listen address")
-		server   = flag.String("server", "127.0.0.1:7400", "presence server address")
-		period   = flag.Duration("period", 270*time.Second, "own heartbeat period (scheduling window T)")
-		expiry   = flag.Duration("expiry", 270*time.Second, "own heartbeat expiry")
-		capacity = flag.Int("capacity", 8, "collection capacity M")
-		report   = flag.Duration("report", 5*time.Second, "stats report interval")
+		id        = flag.String("id", "relay-1", "relay device id")
+		listen    = flag.String("listen", "127.0.0.1:7401", "UE-side listen address")
+		server    = flag.String("server", "127.0.0.1:7400", "presence server address")
+		period    = flag.Duration("period", 270*time.Second, "own heartbeat period (scheduling window T)")
+		expiry    = flag.Duration("expiry", 270*time.Second, "own heartbeat expiry")
+		capacity  = flag.Int("capacity", 8, "collection capacity M")
+		report    = flag.Duration("report", 5*time.Second, "stats report interval")
+		telemAddr = flag.String("telemetry", "", "serve /metrics, /metrics.json and pprof on this address (empty disables)")
 	)
 	flag.Parse()
-	if err := run(*id, *listen, *server, *period, *expiry, *capacity, *report); err != nil {
+	if err := run(*id, *listen, *server, *period, *expiry, *capacity, *report, *telemAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "d2drelay:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id, listen, server string, period, expiry time.Duration, capacity int, report time.Duration) error {
+func run(id, listen, server string, period, expiry time.Duration, capacity int, report time.Duration, telemAddr string) error {
+	var reg *telemetry.Registry
+	if telemAddr != "" {
+		reg = telemetry.NewRegistry()
+		ts, err := telemetry.Serve(telemAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ts.Close()
+		fmt.Printf("telemetry on http://%s/metrics\n", ts.Addr())
+	}
 	relay, err := relaynet.NewRelayAgent(relaynet.RelayAgentConfig{
 		ID: id, App: "relay", Period: period, Expiry: expiry, Pad: 54, Capacity: capacity,
+		Telemetry: reg,
 	})
 	if err != nil {
 		return err
@@ -52,14 +69,18 @@ func run(id, listen, server string, period, expiry time.Duration, capacity int, 
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	ticker := time.NewTicker(report)
-	defer ticker.Stop()
+	var tick <-chan time.Time // nil (blocks forever) when reporting is disabled
+	if report > 0 {
+		ticker := time.NewTicker(report)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
 	for {
 		select {
 		case <-stop:
 			fmt.Println("shutting down")
 			return nil
-		case <-ticker.C:
+		case <-tick:
 			st := relay.Stats()
 			fmt.Printf("collected=%d flushes=%d forwarded=%d credits=%d feedbacks=%d rejected=%d\n",
 				st.Collected, st.Flushes, st.Forwarded, st.Credits,

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	d2dserver [-addr 127.0.0.1:7400] [-report 5s]
+//	d2dserver [-addr 127.0.0.1:7400] [-report 5s] [-telemetry 127.0.0.1:7480]
+//
+// With -telemetry the server exposes live metrics over HTTP: /metrics
+// (aligned text), /metrics.json (machine-readable, scraped by d2dload) and
+// /debug/pprof for profiling.
 package main
 
 import (
@@ -16,22 +20,34 @@ import (
 	"time"
 
 	"d2dhb/internal/relaynet"
+	"d2dhb/internal/telemetry"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:7400", "listen address")
-		report = flag.Duration("report", 5*time.Second, "stats report interval")
+		addr      = flag.String("addr", "127.0.0.1:7400", "listen address")
+		report    = flag.Duration("report", 5*time.Second, "stats report interval")
+		telemAddr = flag.String("telemetry", "", "serve /metrics, /metrics.json and pprof on this address (empty disables)")
 	)
 	flag.Parse()
-	if err := run(*addr, *report); err != nil {
+	if err := run(*addr, *report, *telemAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "d2dserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, report time.Duration) error {
+func run(addr string, report time.Duration, telemAddr string) error {
 	srv := relaynet.NewServer()
+	if telemAddr != "" {
+		reg := telemetry.NewRegistry()
+		srv.SetTelemetry(reg)
+		ts, err := telemetry.Serve(telemAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ts.Close()
+		fmt.Printf("telemetry on http://%s/metrics\n", ts.Addr())
+	}
 	if err := srv.Start(addr); err != nil {
 		return err
 	}
@@ -40,14 +56,18 @@ func run(addr string, report time.Duration) error {
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	ticker := time.NewTicker(report)
-	defer ticker.Stop()
+	var tick <-chan time.Time // nil (blocks forever) when reporting is disabled
+	if report > 0 {
+		ticker := time.NewTicker(report)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
 	for {
 		select {
 		case <-stop:
 			fmt.Println("shutting down")
 			return nil
-		case <-ticker.C:
+		case <-tick:
 			st := srv.Stats()
 			fmt.Printf("online=%d direct=%d relayed=%d batches=%d late=%d conns=%d\n",
 				srv.OnlineCount(time.Now()), st.HeartbeatsDirect, st.HeartbeatsRelayed,

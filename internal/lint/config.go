@@ -76,7 +76,9 @@ func (c *Config) For(name string) AnalyzerConfig {
 //   - walltime covers every simulation-clocked package: the deterministic
 //     kernel and everything driven by it. The real-time stack (relaynet,
 //     loadgen, faultnet), the wire protocol and the CLIs legitimately use
-//     wall time and are out of scope.
+//     wall time and are out of scope. internal/telemetry is in scope even
+//     though real-time code feeds it: the registry must stay clock-free so
+//     sim-clocked packages can record into it from injected instants.
 //   - rawrand, lockheld, closecheck and tracekey cover the whole module.
 //   - lockheld additionally treats the hbproto frame codec as blocking:
 //     WriteFrame/ReadFrame perform connection IO, so calling them with a
@@ -101,6 +103,7 @@ func DefaultConfig(module string) *Config {
 		ip("internal/hbmsg"),
 		ip("internal/metrics"),
 		ip("internal/experiments"),
+		ip("internal/telemetry"),
 	}
 	return &Config{
 		Module: module,

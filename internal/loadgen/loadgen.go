@@ -11,6 +11,7 @@ import (
 	"d2dhb/internal/hbmsg"
 	"d2dhb/internal/hbproto"
 	"d2dhb/internal/relaynet"
+	"d2dhb/internal/telemetry"
 	"d2dhb/internal/trace"
 )
 
@@ -56,6 +57,14 @@ type Config struct {
 	// run makes (UE→relay, UE→server and relay→server), for
 	// chaos-under-load measurements. Nil disables fault injection.
 	Faults *faultnet.Schedule
+	// Telemetry, when non-nil, registers the run's own instruments on the
+	// registry: fleet send/ack counters, per-path latency histograms, and —
+	// for in-process runs — the spawned server's and relays' metrics.
+	Telemetry *telemetry.Registry
+	// MetricsAddr is the target server's telemetry listener (the host:port
+	// passed to its -telemetry flag). When set, every report scrapes
+	// /metrics.json there and embeds the server-side dump.
+	MetricsAddr string
 }
 
 func (c Config) validate() error {
@@ -143,6 +152,23 @@ func New(cfg Config) (*Runner, error) {
 	}
 	if cfg.Relays > 0 {
 		r.relayedUEs = int(float64(cfg.UEs) * cfg.RelayRatio)
+	}
+	if reg := cfg.Telemetry; reg != nil {
+		reg.Observe("loadgen_latency_direct_us", "us", r.histDirect)
+		reg.Observe("loadgen_latency_relayed_us", "us", r.histRelay)
+		c := &r.counters
+		reg.GaugeFunc("loadgen_sent_total", func() float64 {
+			return float64(c.sentDirect.Load() + c.sentRelayed.Load())
+		})
+		reg.GaugeFunc("loadgen_acked_total", func() float64 {
+			return float64(c.ackedDirect.Load() + c.ackedRelayed.Load())
+		})
+		reg.GaugeFunc("loadgen_timeouts_total", func() float64 {
+			return float64(c.timeoutDirect.Load() + c.timeoutRelayed.Load())
+		})
+		reg.GaugeFunc("loadgen_errors_total", func() float64 {
+			return float64(c.dialErrors.Load() + c.writeErrors.Load())
+		})
 	}
 	return r, nil
 }
@@ -262,6 +288,9 @@ func (r *Runner) startServer() error {
 	if r.cfg.Tracer != nil {
 		s.SetTracer(r.cfg.Tracer)
 	}
+	if r.cfg.Telemetry != nil {
+		s.SetTelemetry(r.cfg.Telemetry)
+	}
 	if err := s.Start("127.0.0.1:0"); err != nil {
 		return err
 	}
@@ -285,14 +314,15 @@ func (r *Runner) startRelays() error {
 	}
 	for i := 0; i < r.cfg.Relays; i++ {
 		ra, err := relaynet.NewRelayAgent(relaynet.RelayAgentConfig{
-			ID:       fmt.Sprintf("loadrelay-%d", i),
-			App:      "loadgen",
-			Period:   r.minPeriod,
-			Expiry:   r.minPeriod,
-			Pad:      54,
-			Capacity: capacity,
-			Tracer:   r.cfg.Tracer,
-			Dial:     dial,
+			ID:        fmt.Sprintf("loadrelay-%d", i),
+			App:       "loadgen",
+			Period:    r.minPeriod,
+			Expiry:    r.minPeriod,
+			Pad:       54,
+			Capacity:  capacity,
+			Tracer:    r.cfg.Tracer,
+			Dial:      dial,
+			Telemetry: r.cfg.Telemetry,
 		})
 		if err != nil {
 			return err

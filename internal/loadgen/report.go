@@ -8,6 +8,7 @@ import (
 
 	"d2dhb/internal/metrics"
 	"d2dhb/internal/relaynet"
+	"d2dhb/internal/telemetry"
 )
 
 // LatencyStats summarizes one path's heartbeat→ack latency distribution in
@@ -83,6 +84,10 @@ type Report struct {
 	Server *relaynet.ServerStats `json:"server,omitempty"`
 	// Relay aggregates the in-process relay agents; nil without relays.
 	Relay *RelayStats `json:"relay,omitempty"`
+	// ServerMetrics is the target server's telemetry dump, scraped from its
+	// /metrics.json endpoint when Config.MetricsAddr is set; nil otherwise
+	// or when the scrape failed.
+	ServerMetrics *telemetry.Dump `json:"serverMetrics,omitempty"`
 }
 
 // snapshot assembles a cumulative report at the given elapsed time.
@@ -137,6 +142,11 @@ func (r *Runner) snapshot(elapsed time.Duration, final bool) Report {
 			agg.Rejected += st.RejectedClosed + st.RejectedExpire
 		}
 		rep.Relay = &agg
+	}
+	if r.cfg.MetricsAddr != "" {
+		if d, err := ScrapeDump(r.cfg.MetricsAddr, 2*time.Second); err == nil {
+			rep.ServerMetrics = d
+		}
 	}
 	return rep
 }
@@ -194,6 +204,10 @@ func (rep Report) String() string {
 	if rep.Relay != nil {
 		fmt.Fprintf(&b, "relays: collected=%d forwarded=%d flushes=%d rejected=%d\n",
 			rep.Relay.Collected, rep.Relay.Forwarded, rep.Relay.Flushes, rep.Relay.Rejected)
+	}
+	if rep.ServerMetrics != nil {
+		b.WriteByte('\n')
+		b.WriteString(rep.ServerMetrics.Table().String())
 	}
 	return b.String()
 }

@@ -1,0 +1,31 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"d2dhb/internal/telemetry"
+)
+
+// ScrapeDump fetches the telemetry dump served at addr's /metrics.json
+// endpoint (see internal/telemetry.Handler). Capacity runs against an
+// external server use it to fold the server-side counters into the report,
+// so one loadgen artifact captures both ends of the measurement.
+func ScrapeDump(addr string, timeout time.Duration) (*telemetry.Dump, error) {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get("http://" + addr + "/metrics.json")
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: scrape %s: %s", addr, resp.Status)
+	}
+	var d telemetry.Dump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		return nil, fmt.Errorf("loadgen: scrape %s: %w", addr, err)
+	}
+	return &d, nil
+}

@@ -11,6 +11,7 @@ import (
 	"d2dhb/internal/hbmsg"
 	"d2dhb/internal/hbproto"
 	"d2dhb/internal/sched"
+	"d2dhb/internal/telemetry"
 	"d2dhb/internal/trace"
 )
 
@@ -47,6 +48,10 @@ type RelayAgentConfig struct {
 	// Seed seeds the backoff jitter RNG; zero derives a seed from ID, so
 	// distinct relays jitter differently by default.
 	Seed int64
+	// Telemetry registers the agent's runtime metrics (batch sizes,
+	// collect-to-flush latency, reconnect attempts, scheduler occupancy
+	// and deadline slack) in the given registry. Nil disables telemetry.
+	Telemetry *telemetry.Registry
 }
 
 func (c RelayAgentConfig) validate() error {
@@ -139,6 +144,23 @@ type RelayAgent struct {
 	ueConns  map[*ueConn]struct{}
 	awaiting []awaitingBatch
 	rng      *rand.Rand // backoff jitter; owned by run goroutine
+	// collectedAt mirrors the policy's pending buffer with each message's
+	// collect instant, so flush can histogram collect-to-flush latency.
+	// Owned by the run goroutine, like the policy itself.
+	collectedAt []time.Duration
+
+	ins relayInstruments
+}
+
+// relayInstruments is the agent's live-telemetry handle block; every
+// handle is nil (a no-op) without a configured registry.
+type relayInstruments struct {
+	collected      *telemetry.Counter
+	feedbacks      *telemetry.Counter
+	reconnectTries *telemetry.Counter
+	reconnects     *telemetry.Counter
+	batchSize      *telemetry.Histogram
+	collectToFlush *telemetry.Histogram
 }
 
 // awaitingBatch tracks a transmitted batch until the server acknowledges
@@ -166,7 +188,7 @@ func NewRelayAgent(cfg RelayAgentConfig) (*RelayAgent, error) {
 		}
 		seed = int64(h)
 	}
-	return &RelayAgent{
+	r := &RelayAgent{
 		cfg:     cfg,
 		events:  make(chan relayEvent),
 		done:    make(chan struct{}),
@@ -174,7 +196,32 @@ func NewRelayAgent(cfg RelayAgentConfig) (*RelayAgent, error) {
 		sources: make(map[hbproto.Ref]*ueConn),
 		ueConns: make(map[*ueConn]struct{}),
 		rng:     rand.New(rand.NewSource(seed)),
-	}, nil
+	}
+	if reg := cfg.Telemetry; reg != nil {
+		rl := telemetry.L("relay", cfg.ID)
+		r.ins = relayInstruments{
+			collected:      reg.Counter("relaynet_relay_collected_total", rl),
+			feedbacks:      reg.Counter("relaynet_relay_feedbacks_total", rl),
+			reconnectTries: reg.Counter("relaynet_relay_reconnect_attempts_total", rl),
+			reconnects:     reg.Counter("relaynet_relay_reconnects_total", rl),
+			batchSize:      reg.Histogram("relaynet_relay_batch_size", "msgs", 1, rl),
+			collectToFlush: reg.Histogram("relaynet_relay_collect_to_flush_us", "us", 1, rl),
+		}
+		// The Algorithm 1 scheduler records its own occupancy-vs-capacity
+		// and deadline-slack figures from the instants the agent injects —
+		// telemetry never hands it the wall clock.
+		kl := telemetry.L("policy", policy.Kind().String())
+		policy.SetInstruments(&sched.Instruments{
+			Occupancy:     reg.Histogram("sched_pending_occupancy", "msgs", 1, rl, kl),
+			FlushSize:     reg.Histogram("sched_flush_size", "msgs", 1, rl, kl),
+			FlushSlack:    reg.Histogram("sched_flush_slack_us", "us", 1, rl, kl),
+			Capacity:      reg.Gauge("sched_capacity", rl, kl),
+			RejectClosed:  reg.Counter("sched_rejects_total", telemetry.L("reason", "closed"), rl, kl),
+			RejectExpired: reg.Counter("sched_rejects_total", telemetry.L("reason", "expired"), rl, kl),
+		})
+		reg.Gauge("sched_capacity", rl, kl).Set(int64(policy.Capacity()))
+	}
+	return r, nil
 }
 
 // Start listens for UE connections on listenAddr and connects upstream to
@@ -379,6 +426,7 @@ func (r *RelayAgent) reconnectUpstream() bool {
 		if r.isClosed() {
 			return false
 		}
+		r.ins.reconnectTries.Inc()
 		conn, err := r.cfg.dial("tcp", r.serverAddr)
 		if err == nil {
 			err = hbproto.WriteFrame(conn, &hbproto.Register{
@@ -387,6 +435,7 @@ func (r *RelayAgent) reconnectUpstream() bool {
 			})
 		}
 		if err == nil {
+			r.ins.reconnects.Inc()
 			r.mu.Lock()
 			r.up = conn
 			r.stats.UpstreamReconnects++
@@ -527,6 +576,8 @@ func (r *RelayAgent) collect(uc *ueConn, m *hbproto.Heartbeat) {
 		return
 	}
 	r.sources[hbproto.Ref{Src: m.Src, Seq: m.Seq}] = uc
+	r.collectedAt = append(r.collectedAt, now)
+	r.ins.collected.Inc()
 	r.mu.Lock()
 	r.stats.Collected++
 	r.mu.Unlock()
@@ -541,7 +592,16 @@ func (r *RelayAgent) collect(uc *ueConn, m *hbproto.Heartbeat) {
 
 // flush transmits the batch plus the relay's own heartbeat upstream.
 func (r *RelayAgent) flush() {
-	batch := r.policy.Flush(r.now())
+	now := r.now()
+	batch := r.policy.Flush(now)
+	// The batch preserves collect order, so collectedAt lines up index by
+	// index; the histogram gets each message's collect-to-flush wait.
+	for i := range batch {
+		if i < len(r.collectedAt) {
+			r.ins.collectToFlush.Record(uint64((now - r.collectedAt[i]) / time.Microsecond))
+		}
+	}
+	r.collectedAt = r.collectedAt[:0]
 	out := &hbproto.Batch{Relay: r.cfg.ID}
 	refs := make([]hbproto.Ref, 0, len(batch))
 	for _, hb := range batch {
@@ -562,6 +622,7 @@ func (r *RelayAgent) flush() {
 	if err := hbproto.WriteFrame(r.up, out); err != nil {
 		return
 	}
+	r.ins.batchSize.Record(uint64(len(out.HBs)))
 	r.awaiting = append(r.awaiting, awaitingBatch{refs: refs})
 	trace.Emit(r.cfg.Tracer, trace.Event{
 		AtMs: time.Now().UnixMilli(), Device: r.cfg.ID, Kind: trace.KindFlush,
@@ -595,6 +656,7 @@ func (r *RelayAgent) handleAck(ack *hbproto.Ack) {
 		if err := hbproto.WriteFrame(uc.conn, &hbproto.Feedback{Refs: refs}); err != nil {
 			continue
 		}
+		r.ins.feedbacks.Add(uint64(len(refs)))
 		r.mu.Lock()
 		r.stats.FeedbacksSent += len(refs)
 		r.mu.Unlock()

@@ -17,6 +17,7 @@ import (
 	"d2dhb/internal/hbmsg"
 	"d2dhb/internal/hbproto"
 	presencepkg "d2dhb/internal/presence"
+	"d2dhb/internal/telemetry"
 	"d2dhb/internal/trace"
 )
 
@@ -37,6 +38,9 @@ type ServerStats struct {
 	ProtocolErrors int
 	// IdleDrops counts connections reaped by the idle read deadline.
 	IdleDrops int
+	// WriteDeadlineHits counts ack writes that hit the write deadline (the
+	// client stopped reading).
+	WriteDeadlineHits int
 }
 
 // presence is one client's keep-alive state.
@@ -62,16 +66,22 @@ type presenceShard struct {
 	_       [24]byte // keep neighbouring stripes off one cache line
 }
 
-// connCounters is one connection's stats block. The handler goroutine owns
-// the writes (uncontended atomic adds); Stats aggregates every live block
-// plus the folded totals of closed connections on snapshot, so the hot
-// path never takes a shared lock for accounting.
+// statsStripeCount stripes the delivery counters. Each connection is bound
+// to one stripe round-robin by accept order, so handler updates are atomic
+// adds on (mostly) private cache lines and Stats sums a fixed 64 blocks —
+// no lock, no sweep over the live-connection table.
+const statsStripeCount = 64
+
+// connCounters is one stats stripe. The padding keeps neighbouring stripes
+// on separate cache lines so connections on different stripes never false-
+// share.
 type connCounters struct {
 	registers atomic.Int64
 	direct    atomic.Int64
 	relayed   atomic.Int64
 	batches   atomic.Int64
 	late      atomic.Int64
+	_         [24]byte
 }
 
 // Server is the IM presence server: it tracks per-client expiration timers
@@ -81,18 +91,21 @@ type connCounters struct {
 type Server struct {
 	mu      sync.Mutex // lifecycle + connection registry
 	ln      net.Listener
-	conns   map[net.Conn]*connCounters
-	folded  connCounters // folded counters of closed connections
+	conns   map[net.Conn]struct{}
 	tracer  trace.Tracer
 	start   time.Time
 	started bool
 	closed  bool
 
-	shards [presenceShardCount]presenceShard
+	shards  [presenceShardCount]presenceShard
+	stripes [statsStripeCount]connCounters
 
 	accepted       atomic.Int64
 	protocolErrors atomic.Int64
 	idleDrops      atomic.Int64
+	writeTimeouts  atomic.Int64
+
+	ins serverInstruments
 
 	// idleTimeout > 0 arms a per-connection read deadline so half-dead
 	// clients are reaped instead of pinning handler goroutines forever.
@@ -106,7 +119,7 @@ type Server struct {
 
 // NewServer returns an unstarted server.
 func NewServer() *Server {
-	s := &Server{conns: make(map[net.Conn]*connCounters)}
+	s := &Server{conns: make(map[net.Conn]struct{})}
 	for i := range s.shards {
 		s.shards[i].clients = make(map[string]*presence)
 		s.shards[i].tracker = presencepkg.NewTracker()
@@ -127,6 +140,67 @@ func (s *Server) shard(id string) *presenceShard {
 // carry absolute Unix milliseconds in AtMs (components are independent
 // processes with no shared virtual clock).
 func (s *Server) SetTracer(tr trace.Tracer) { s.tracer = tr }
+
+// serverInstruments is the server's live-telemetry handle block. Every
+// handle is nil (a no-op) until SetTelemetry registers real ones, so the
+// hot path pays one nil check per update when telemetry is off.
+type serverInstruments struct {
+	accepts       *telemetry.Counter
+	frames        *telemetry.Counter
+	dropsProtocol *telemetry.Counter
+	dropsIdle     *telemetry.Counter
+	writeTimeouts *telemetry.Counter
+	late          *telemetry.Counter
+	batchSize     *telemetry.Histogram
+}
+
+// SetTelemetry registers the server's runtime metrics in reg; call before
+// Start. Counters and the batch-size histogram update lock-free on the hot
+// path; presence occupancy is sampled at scrape time through gauge
+// functions so the handlers never mirror map sizes.
+func (s *Server) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.ins = serverInstruments{
+		accepts:       reg.Counter("relaynet_server_accepts_total"),
+		frames:        reg.Counter("relaynet_server_frames_total"),
+		dropsProtocol: reg.Counter("relaynet_server_drops_total", telemetry.L("reason", "protocol")),
+		dropsIdle:     reg.Counter("relaynet_server_drops_total", telemetry.L("reason", "idle")),
+		writeTimeouts: reg.Counter("relaynet_server_write_deadline_hits_total"),
+		late:          reg.Counter("relaynet_server_late_heartbeats_total"),
+		batchSize:     reg.Histogram("relaynet_server_batch_size", "msgs", 8),
+	}
+	reg.GaugeFunc("relaynet_server_open_connections", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.conns))
+	})
+	reg.GaugeFunc("relaynet_server_presence_clients", func() float64 {
+		total, _ := s.presenceOccupancy()
+		return float64(total)
+	})
+	reg.GaugeFunc("relaynet_server_presence_shard_max", func() float64 {
+		_, max := s.presenceOccupancy()
+		return float64(max)
+	})
+}
+
+// presenceOccupancy samples the presence table shard by shard: total
+// tracked clients and the largest single shard (hash-imbalance indicator).
+func (s *Server) presenceOccupancy() (total, maxShard int) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n := len(sh.clients)
+		sh.mu.Unlock()
+		total += n
+		if n > maxShard {
+			maxShard = n
+		}
+	}
+	return total, maxShard
+}
 
 // SetIdleTimeout arms a per-connection read deadline: a connection that
 // stays silent for d is dropped and counted in IdleDrops. Zero (the
@@ -204,26 +278,24 @@ func (s *Server) Shutdown() {
 	s.wg.Wait()
 }
 
-// Stats returns a snapshot of the counters: the folded totals of closed
-// connections plus every live connection's block.
+// Stats returns a snapshot of the counters by summing the fixed stats
+// stripes — no lock and no sweep over live connections, so it is cheap
+// enough to poll from a telemetry scraper at any fleet size (see
+// BenchmarkServerStats).
 func (s *Server) Stats() ServerStats {
 	var st ServerStats
-	add := func(cc *connCounters) {
+	for i := range s.stripes {
+		cc := &s.stripes[i]
 		st.Registers += int(cc.registers.Load())
 		st.HeartbeatsDirect += int(cc.direct.Load())
 		st.HeartbeatsRelayed += int(cc.relayed.Load())
 		st.Batches += int(cc.batches.Load())
 		st.Late += int(cc.late.Load())
 	}
-	s.mu.Lock()
-	add(&s.folded)
-	for _, cc := range s.conns {
-		add(cc)
-	}
-	s.mu.Unlock()
 	st.Connections = int(s.accepted.Load())
 	st.ProtocolErrors = int(s.protocolErrors.Load())
 	st.IdleDrops = int(s.idleDrops.Load())
+	st.WriteDeadlineHits = int(s.writeTimeouts.Load())
 	return st
 }
 
@@ -260,17 +332,19 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		cc := &connCounters{}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			_ = conn.Close()
 			return
 		}
-		s.conns[conn] = cc
-		s.accepted.Add(1)
+		s.conns[conn] = struct{}{}
+		n := s.accepted.Add(1)
 		s.wg.Add(1)
 		s.mu.Unlock()
+		s.ins.accepts.Inc()
+		// Bind the connection to a stats stripe round-robin by accept order.
+		cc := &s.stripes[int(n-1)%statsStripeCount]
 		go s.handleConn(conn, cc)
 	}
 }
@@ -281,13 +355,6 @@ func (s *Server) handleConn(conn net.Conn, cc *connCounters) {
 		_ = conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
-		// Fold this connection's counters into the closed totals so the
-		// snapshot stays complete after the handler exits.
-		s.folded.registers.Add(cc.registers.Load())
-		s.folded.direct.Add(cc.direct.Load())
-		s.folded.relayed.Add(cc.relayed.Load())
-		s.folded.batches.Add(cc.batches.Load())
-		s.folded.late.Add(cc.late.Load())
 		s.mu.Unlock()
 	}()
 	s.mu.Lock()
@@ -302,6 +369,7 @@ func (s *Server) handleConn(conn net.Conn, cc *connCounters) {
 			s.noteReadError(conn, err)
 			return
 		}
+		s.ins.frames.Inc()
 		if err := s.handleMessage(conn, cc, wto, msg); err != nil {
 			if errors.Is(err, errProtocol) {
 				s.noteDrop(conn, err.Error(), false)
@@ -335,8 +403,10 @@ func (s *Server) noteReadError(conn net.Conn, err error) {
 func (s *Server) noteDrop(conn net.Conn, reason string, idle bool) {
 	if idle {
 		s.idleDrops.Add(1)
+		s.ins.dropsIdle.Inc()
 	} else {
 		s.protocolErrors.Add(1)
+		s.ins.dropsProtocol.Inc()
 	}
 	trace.Emit(s.tracer, trace.Event{
 		AtMs: time.Now().UnixMilli(), Device: conn.RemoteAddr().String(),
@@ -350,6 +420,20 @@ func writeFrame(conn net.Conn, wto time.Duration, msg hbproto.Message) error {
 		_ = conn.SetWriteDeadline(time.Now().Add(wto))
 	}
 	return hbproto.WriteFrame(conn, msg)
+}
+
+// send writes one ack under the write deadline, counting deadline hits
+// (clients that stopped reading their socket).
+func (s *Server) send(conn net.Conn, wto time.Duration, msg hbproto.Message) error {
+	err := writeFrame(conn, wto, msg)
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			s.writeTimeouts.Add(1)
+			s.ins.writeTimeouts.Inc()
+		}
+	}
+	return err
 }
 
 func (s *Server) handleMessage(conn net.Conn, cc *connCounters, wto time.Duration, msg hbproto.Message) error {
@@ -368,7 +452,7 @@ func (s *Server) handleMessage(conn net.Conn, cc *connCounters, wto time.Duratio
 		return nil
 	case *hbproto.Heartbeat:
 		s.touch(cc, m, now, false)
-		return writeFrame(conn, wto, &hbproto.Ack{
+		return s.send(conn, wto, &hbproto.Ack{
 			Refs: []hbproto.Ref{{Src: m.Src, Seq: m.Seq}},
 		})
 	case *hbproto.Batch:
@@ -378,7 +462,8 @@ func (s *Server) handleMessage(conn net.Conn, cc *connCounters, wto time.Duratio
 			refs = append(refs, hbproto.Ref{Src: m.HBs[i].Src, Seq: m.HBs[i].Seq})
 		}
 		cc.batches.Add(1)
-		return writeFrame(conn, wto, &hbproto.Ack{Refs: refs})
+		s.ins.batchSize.Record(uint64(len(m.HBs)))
+		return s.send(conn, wto, &hbproto.Ack{Refs: refs})
 	default:
 		return fmt.Errorf("%w: unexpected %v from client", errProtocol, msg.Type())
 	}
@@ -398,6 +483,7 @@ func (s *Server) touch(cc *connCounters, hb *hbproto.Heartbeat, now time.Time, r
 	onTime := !now.After(hb.Deadline())
 	if !onTime {
 		cc.late.Add(1)
+		s.ins.late.Inc()
 	}
 	sh := s.shard(hb.Src)
 	sh.mu.Lock()

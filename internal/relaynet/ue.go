@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"d2dhb/internal/hbproto"
+	"d2dhb/internal/telemetry"
 	"d2dhb/internal/trace"
 )
 
@@ -63,6 +64,10 @@ type UEClientConfig struct {
 	FeedbackTimeout time.Duration
 	// Tracer receives structured events when non-nil (AtMs is Unix ms).
 	Tracer trace.Tracer
+	// Telemetry registers fleet-wide UE counters when non-nil. Metrics are
+	// unlabeled by device: every client sharing a registry shares one set,
+	// keeping cardinality flat for fleets of thousands.
+	Telemetry *telemetry.Registry
 	// Dial overrides every outbound dial (relay and direct paths); nil
 	// selects net.Dial. Fault-injection hook (see internal/faultnet).
 	Dial func(network, addr string) (net.Conn, error)
@@ -114,11 +119,23 @@ type UEClientStats struct {
 	RelayReconnects int
 }
 
+// ueInstruments holds the fleet-wide UE telemetry handles. The zero value
+// is a valid no-op (nil handles).
+type ueInstruments struct {
+	generated *telemetry.Counter
+	viaRelay  *telemetry.Counter
+	direct    *telemetry.Counter
+	fallbacks *telemetry.Counter
+	acks      *telemetry.Counter
+	dials     *telemetry.Counter
+}
+
 // UEClient periodically emits heartbeats, forwarding them through a relay
 // when one is reachable and falling back to the server on feedback
 // timeout.
 type UEClient struct {
 	cfg UEClientConfig
+	ins ueInstruments
 
 	mu      sync.Mutex
 	relay   net.Conn
@@ -138,11 +155,22 @@ func NewUEClient(cfg UEClientConfig) (*UEClient, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &UEClient{
+	u := &UEClient{
 		cfg:     cfg,
 		pending: make(map[uint64]*time.Timer),
 		done:    make(chan struct{}),
-	}, nil
+	}
+	if reg := cfg.Telemetry; reg != nil {
+		u.ins = ueInstruments{
+			generated: reg.Counter("relaynet_ue_generated_total"),
+			viaRelay:  reg.Counter("relaynet_ue_sends_total", telemetry.L("path", "relay")),
+			direct:    reg.Counter("relaynet_ue_sends_total", telemetry.L("path", "direct")),
+			fallbacks: reg.Counter("relaynet_ue_sends_total", telemetry.L("path", "fallback")),
+			acks:      reg.Counter("relaynet_ue_feedback_acks_total"),
+			dials:     reg.Counter("relaynet_ue_relay_connects_total"),
+		}
+	}
+	return u, nil
 }
 
 // Start begins the heartbeat loop. The first heartbeat goes out
@@ -213,6 +241,7 @@ func (u *UEClient) dialOneRelay(addr string) bool {
 	}
 	u.relay = conn
 	u.stats.RelayReconnects++
+	u.ins.dials.Inc()
 	u.wg.Add(1)
 	u.mu.Unlock()
 	go u.relayReader(conn)
@@ -289,6 +318,7 @@ func (u *UEClient) sendHeartbeat(seq uint64, app UEApp) {
 	u.stats.Generated++
 	relay := u.relay
 	u.mu.Unlock()
+	u.ins.generated.Inc()
 	trace.Emit(u.cfg.Tracer, trace.Event{
 		AtMs: hb.Origin.UnixMilli(), Device: u.cfg.ID, Kind: trace.KindGenerated,
 		App: hb.App, Seq: hb.Seq,
@@ -321,6 +351,7 @@ func (u *UEClient) sendHeartbeat(seq uint64, app UEApp) {
 			u.mu.Lock()
 			u.stats.ViaRelay++
 			u.mu.Unlock()
+			u.ins.viaRelay.Inc()
 			return
 		}
 		// The relay link is dead: cancel the pending entry, drop the link
@@ -382,6 +413,11 @@ func (u *UEClient) sendDirect(hb *hbproto.Heartbeat, fallback bool) {
 		u.stats.Direct++
 	}
 	u.mu.Unlock()
+	if fallback {
+		u.ins.fallbacks.Inc()
+	} else {
+		u.ins.direct.Inc()
+	}
 }
 
 // onFeedbackTimeout fires when the relay never confirmed delivery: resend
@@ -426,6 +462,7 @@ func (u *UEClient) relayReader(conn net.Conn) {
 				t.Stop()
 				delete(u.pending, ref.Seq)
 				u.stats.FeedbackAcks++
+				u.ins.acks.Inc()
 				trace.Emit(u.cfg.Tracer, trace.Event{
 					AtMs: time.Now().UnixMilli(), Device: u.cfg.ID,
 					Kind: trace.KindAck, Seq: ref.Seq,

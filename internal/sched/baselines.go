@@ -13,6 +13,7 @@ import (
 // "would consume more energy than the original system and lose the
 // signaling-saving feature" (Section III-C).
 type Immediate struct {
+	instrumented
 	periodStart time.Duration
 	period      time.Duration
 	pending     []hbmsg.Heartbeat
@@ -43,12 +44,15 @@ func (p *Immediate) StartPeriod(at time.Duration) {
 // Collect implements Policy: always flush now.
 func (p *Immediate) Collect(hb hbmsg.Heartbeat, now time.Duration) (bool, error) {
 	if p.closed {
+		p.ins.observeReject(ErrClosed)
 		return false, ErrClosed
 	}
 	if hb.Expired(now) {
+		p.ins.observeReject(ErrExpired)
 		return false, ErrExpired
 	}
 	p.pending = append(p.pending, hb)
+	p.ins.observeCollect(len(p.pending))
 	return true, nil
 }
 
@@ -63,7 +67,10 @@ func (p *Immediate) Deadline() (time.Duration, bool) {
 
 // Flush implements Policy. Unlike Nagle, flushing does not close the window:
 // the relay keeps accepting (and immediately sending) messages all period.
-func (p *Immediate) Flush(time.Duration) []hbmsg.Heartbeat {
+func (p *Immediate) Flush(now time.Duration) []hbmsg.Heartbeat {
+	if at, ok := p.Deadline(); ok {
+		p.ins.observeFlush(len(p.pending), at-now)
+	}
 	out := p.pending
 	p.pending = nil
 	return out
@@ -80,6 +87,7 @@ func (p *Immediate) Accepting() bool { return !p.closed }
 // demonstrates why Algorithm 1's T_k constraint matters: with tight
 // expiries a fixed delay silently lets messages die.
 type FixedDelay struct {
+	instrumented
 	delay       time.Duration
 	period      time.Duration
 	periodStart time.Duration
@@ -115,15 +123,18 @@ func (p *FixedDelay) StartPeriod(at time.Duration) {
 // Collect implements Policy.
 func (p *FixedDelay) Collect(hb hbmsg.Heartbeat, now time.Duration) (bool, error) {
 	if p.closed {
+		p.ins.observeReject(ErrClosed)
 		return false, ErrClosed
 	}
 	if hb.Expired(now) {
+		p.ins.observeReject(ErrExpired)
 		return false, ErrExpired
 	}
 	if len(p.pending) == 0 {
 		p.firstAt = now
 	}
 	p.pending = append(p.pending, hb)
+	p.ins.observeCollect(len(p.pending))
 	return false, nil
 }
 
@@ -145,9 +156,12 @@ func (p *FixedDelay) Deadline() (time.Duration, bool) {
 }
 
 // Flush implements Policy.
-func (p *FixedDelay) Flush(time.Duration) []hbmsg.Heartbeat {
+func (p *FixedDelay) Flush(now time.Duration) []hbmsg.Heartbeat {
 	if p.closed {
 		return nil
+	}
+	if at, ok := p.Deadline(); ok {
+		p.ins.observeFlush(len(p.pending), at-now)
 	}
 	out := p.pending
 	p.pending = nil
@@ -165,6 +179,7 @@ func (p *FixedDelay) Accepting() bool { return !p.closed }
 // end, maximizing batching but ignoring both capacity and expiration
 // times — the opposite failure mode from Immediate.
 type PeriodAligned struct {
+	instrumented
 	period      time.Duration
 	periodStart time.Duration
 	pending     []hbmsg.Heartbeat
@@ -194,12 +209,15 @@ func (p *PeriodAligned) StartPeriod(at time.Duration) {
 // Collect implements Policy.
 func (p *PeriodAligned) Collect(hb hbmsg.Heartbeat, now time.Duration) (bool, error) {
 	if p.closed {
+		p.ins.observeReject(ErrClosed)
 		return false, ErrClosed
 	}
 	if hb.Expired(now) {
+		p.ins.observeReject(ErrExpired)
 		return false, ErrExpired
 	}
 	p.pending = append(p.pending, hb)
+	p.ins.observeCollect(len(p.pending))
 	return false, nil
 }
 
@@ -212,9 +230,12 @@ func (p *PeriodAligned) Deadline() (time.Duration, bool) {
 }
 
 // Flush implements Policy.
-func (p *PeriodAligned) Flush(time.Duration) []hbmsg.Heartbeat {
+func (p *PeriodAligned) Flush(now time.Duration) []hbmsg.Heartbeat {
 	if p.closed {
 		return nil
+	}
+	if at, ok := p.Deadline(); ok {
+		p.ins.observeFlush(len(p.pending), at-now)
 	}
 	out := p.pending
 	p.pending = nil

@@ -1,0 +1,83 @@
+package sched
+
+import (
+	"time"
+
+	"d2dhb/internal/telemetry"
+)
+
+// Instruments carries optional telemetry handles shared by every policy.
+// All observations are derived from the instants callers already inject
+// into Collect/Flush — never from the wall clock — so instrumented policies
+// stay legal in simulation-clocked packages (the d2dvet walltime rule) and
+// record virtual time under the simulator, wall time under the relay agent.
+//
+// A nil *Instruments (the default) makes every observation a no-op.
+type Instruments struct {
+	// Occupancy records the pending-buffer fill after each accepted
+	// Collect — how close the window runs to the capacity M mirrored in
+	// Capacity.
+	Occupancy *telemetry.Histogram
+	// FlushSize records the batch size handed back by each non-empty
+	// Flush.
+	FlushSize *telemetry.Histogram
+	// FlushSlack records, in microseconds, how much deadline slack
+	// remained when Flush ran: the gap between the flush instant and the
+	// batch's binding deadline (0 when flushed exactly at — or past — it).
+	FlushSlack *telemetry.Histogram
+	// Capacity mirrors the policy's collection capacity M (0 when the
+	// policy is unbounded).
+	Capacity *telemetry.Gauge
+	// RejectClosed counts Collect refusals after the window closed.
+	RejectClosed *telemetry.Counter
+	// RejectExpired counts heartbeats already dead on arrival.
+	RejectExpired *telemetry.Counter
+}
+
+// observeCollect records buffer occupancy after an accepted Collect.
+func (i *Instruments) observeCollect(pending int) {
+	if i == nil {
+		return
+	}
+	i.Occupancy.Record(uint64(pending))
+}
+
+// observeReject counts one Collect refusal.
+func (i *Instruments) observeReject(err error) {
+	if i == nil {
+		return
+	}
+	switch err {
+	case ErrClosed:
+		i.RejectClosed.Inc()
+	case ErrExpired:
+		i.RejectExpired.Inc()
+	}
+}
+
+// observeFlush records a non-empty flush: batch size and deadline slack.
+func (i *Instruments) observeFlush(size int, slack time.Duration) {
+	if i == nil || size == 0 {
+		return
+	}
+	i.FlushSize.Record(uint64(size))
+	if slack < 0 {
+		slack = 0
+	}
+	i.FlushSlack.Record(uint64(slack / time.Microsecond))
+}
+
+// Instrumented is implemented by policies that accept telemetry handles.
+// Every policy in this package implements it via the embedded instrumented
+// struct; callers attach handles with:
+//
+//	if ip, ok := policy.(sched.Instrumented); ok { ip.SetInstruments(ins) }
+type Instrumented interface {
+	SetInstruments(*Instruments)
+}
+
+// instrumented is embedded by every policy to satisfy Instrumented.
+type instrumented struct{ ins *Instruments }
+
+// SetInstruments attaches telemetry handles; nil detaches them.
+func (b *instrumented) SetInstruments(i *Instruments) { b.ins = i }

@@ -119,6 +119,7 @@ type Policy interface {
 // and flushes as soon as any bound is reached, sending everything in one
 // cellular connection together with the relay's own heartbeat.
 type Nagle struct {
+	instrumented
 	capacity int
 	period   time.Duration
 
@@ -166,12 +167,15 @@ func (n *Nagle) periodEnd() time.Duration { return n.periodStart + n.period }
 // Collect implements Policy.
 func (n *Nagle) Collect(hb hbmsg.Heartbeat, now time.Duration) (bool, error) {
 	if n.closed {
+		n.ins.observeReject(ErrClosed)
 		return false, ErrClosed
 	}
 	if hb.Expired(now) {
+		n.ins.observeReject(ErrExpired)
 		return false, ErrExpired
 	}
 	n.pending = append(n.pending, hb)
+	n.ins.observeCollect(len(n.pending))
 	// Algorithm 1: pend only while k < M; reaching M sends now.
 	if len(n.pending) >= n.capacity {
 		n.lastReason = ReasonCapacity
@@ -210,6 +214,9 @@ func (n *Nagle) Deadline() (time.Duration, bool) {
 func (n *Nagle) Flush(now time.Duration) []hbmsg.Heartbeat {
 	if n.closed {
 		return nil
+	}
+	if at, ok := n.Deadline(); ok {
+		n.ins.observeFlush(len(n.pending), at-now)
 	}
 	if n.lastReason == 0 {
 		if now >= n.periodEnd() {

@@ -1,4 +1,4 @@
-package loadgen
+package telemetry
 
 import (
 	"math/rand"

@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with fully deterministic contents so the
+// /metrics rendering can be pinned byte for byte.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("relay_frames_total", L("relay", "r1")).Add(1234)
+	reg.Counter("server_drops_total", L("reason", "idle")).Add(3)
+	reg.Counter("server_drops_total", L("reason", "protocol")).Add(1)
+	reg.Gauge("sched_capacity", L("policy", "nagle")).Set(8)
+	reg.GaugeFunc("presence_clients", func() float64 { return 42 })
+	h := reg.Histogram("flush_slack_us", "us", 1, L("policy", "nagle"))
+	for v := uint64(1); v <= 100; v++ {
+		h.Record(v * 10)
+	}
+	return reg
+}
+
+func TestMetricsTextGolden(t *testing.T) {
+	srv := httptest.NewServer(Handler(goldenRegistry()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; charset=utf-8" {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *update {
+		if err := os.WriteFile(golden, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if string(body) != string(want) {
+		t.Errorf("/metrics drifted from golden file\n--- got ---\n%s\n--- want ---\n%s", body, want)
+	}
+}
+
+func TestMetricsJSONRoundTrip(t *testing.T) {
+	reg := goldenRegistry()
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics.json status %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("/metrics.json content type %q", ct)
+	}
+	var got Dump
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatalf("decode /metrics.json: %v", err)
+	}
+	want := reg.Dump()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("JSON round trip diverged from registry state\n got: %+v\nwant: %+v", got, want)
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	srv := httptest.NewServer(Handler(NewRegistry()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %s", resp.Status)
+	}
+}
+
+func TestServeAndClose(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up").Inc()
+	s, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Dump
+	err = json.NewDecoder(resp.Body).Decode(&d)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := d.Find("up"); m == nil || m.Value != 1 {
+		t.Fatalf("served dump missing counter: %+v", m)
+	}
+	s.Close()
+	if _, err := http.Get("http://" + s.Addr() + "/metrics"); err == nil {
+		t.Fatal("server still reachable after Close")
+	}
+}
