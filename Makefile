@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench repro examples load chaos fuzz cover fmt clean
+.PHONY: all build vet lint test race bench bench-json repro examples load chaos fuzz cover fmt clean
 
 all: build vet lint test
 
@@ -33,6 +33,15 @@ race:
 bench:
 	$(GO) test -run XXX -bench=. -benchmem .
 
+# Bench trajectory: kernel ns/event + allocs/event, scan latency at 1k/10k
+# devices, per-figure wall time and the city short preset, written to
+# BENCH_<rev>.json for revision-over-revision comparison. Use
+# CITY_PRESET=day for the 24h headline run.
+CITY_PRESET ?= short
+bench-json:
+	$(GO) run ./cmd/d2dbench -json -city $(CITY_PRESET) \
+		-rev $$(git rev-parse --short HEAD 2>/dev/null || echo dev)
+
 # Print every paper table/figure with paper-vs-measured comparisons.
 repro:
 	$(GO) run ./cmd/d2dbench
@@ -54,9 +63,11 @@ chaos:
 	$(GO) test -race -count=1 -v ./internal/faultnet
 	$(GO) test -race -count=1 -v -run 'Chaos|Fallback|Backoff' ./internal/relaynet
 
-# 30-second coverage-guided fuzz smoke on the wire-format decoder.
+# Coverage-guided fuzz smoke: the wire-format decoder and the event kernel
+# checked against its container/heap reference model.
 fuzz:
 	$(GO) test -fuzz=FuzzReadFrame -fuzztime=30s ./internal/hbproto
+	$(GO) test -fuzz=FuzzKernelVsHeapModel -fuzztime=30s ./internal/simtime
 
 # Coverage gate: writes the module coverprofile (CI uploads coverage.out and
 # the -func summary as artifacts) and fails if a gated package drops below

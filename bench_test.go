@@ -446,3 +446,19 @@ func BenchmarkTraceAnalyze(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkCityScale is the macro-benchmark behind the "city day in
+// wall-clock minutes" figure: 10k mixed-mobility devices through the full
+// framework for two heartbeat periods (the short preset; `make bench-json`
+// records the day run). b.N iterations rebuild and rerun the whole city.
+func BenchmarkCityScale(b *testing.B) {
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		_, stats, err := experiments.RunCity(experiments.CityShort())
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = stats.Events
+	}
+	b.ReportMetric(float64(events), "events")
+}

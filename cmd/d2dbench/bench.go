@@ -1,0 +1,246 @@
+package main
+
+// The -json mode is the bench-trajectory harness: it measures the kernel's
+// per-event cost, discovery scan latency at population scale, the wall time
+// of every paper figure, and the city-scale macro-run, then writes the
+// numbers to BENCH_<rev>.json so successive revisions can be compared
+// (`make bench-json`). Wall-clock measurement is deliberately confined to
+// this command: the simulation layers deal only in virtual time.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"d2dhb/internal/d2d"
+	"d2dhb/internal/energy"
+	"d2dhb/internal/experiments"
+	"d2dhb/internal/geo"
+	"d2dhb/internal/hbmsg"
+	"d2dhb/internal/radio"
+	"d2dhb/internal/simtime"
+)
+
+// BenchReport is the BENCH_<rev>.json document.
+type BenchReport struct {
+	Revision  string       `json:"revision"`
+	Timestamp string       `json:"timestamp"`
+	GoVersion string       `json:"go_version"`
+	Kernel    KernelBench  `json:"kernel"`
+	Scans     []ScanBench  `json:"scans"`
+	Figures   []FigureTime `json:"figures"`
+	City      *CityBench   `json:"city,omitempty"`
+}
+
+// KernelBench is the event-kernel steady-state measurement.
+type KernelBench struct {
+	Events         int     `json:"events"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+}
+
+// ScanBench is one discovery-latency measurement at a population size.
+type ScanBench struct {
+	Devices   int     `json:"devices"`
+	NsPerScan float64 `json:"ns_per_scan"`
+}
+
+// FigureTime records how long regenerating one paper figure/table took.
+type FigureTime struct {
+	Name   string  `json:"name"`
+	WallMs float64 `json:"wall_ms"`
+}
+
+// CityBench is the city-scale macro-run measurement.
+type CityBench struct {
+	Preset       string  `json:"preset"`
+	Devices      int     `json:"devices"`
+	SimSeconds   float64 `json:"sim_seconds"`
+	Events       uint64  `json:"events"`
+	WallMs       float64 `json:"wall_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	L3Messages   int     `json:"l3_messages"`
+	Deliveries   int     `json:"deliveries"`
+	OnTimeRate   float64 `json:"on_time_rate"`
+}
+
+// runBench executes the whole trajectory and writes BENCH_<rev>.json into
+// outDir (current directory when empty).
+func runBench(seed int64, rev, cityPreset, outDir string) error {
+	rep := BenchReport{
+		Revision:  rev,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+	}
+
+	fmt.Fprintf(os.Stderr, "bench: kernel steady state...\n")
+	rep.Kernel = benchKernel(2_000_000)
+
+	for _, n := range []int{1_000, 10_000} {
+		fmt.Fprintf(os.Stderr, "bench: scan at %d devices...\n", n)
+		rep.Scans = append(rep.Scans, benchScan(n))
+	}
+
+	figures := []struct {
+		name string
+		run  func() error
+	}{
+		{"table1", func() error { _, err := experiments.Table1(seed); return err }},
+		{"fig6+fig7", func() error {
+			model := energy.DefaultModel()
+			experiments.Fig6(model)
+			experiments.Fig7(model)
+			return nil
+		}},
+		{"table3", func() error { _, err := experiments.Table3(seed); return err }},
+		{"fig8+fig9", func() error { _, err := experiments.EnergyVsTransmissions(seed, 8); return err }},
+		{"fig10+fig11", func() error { _, err := experiments.RelayMultiUE(seed, 7); return err }},
+		{"table4", func() error { _, err := experiments.Table4(seed); return err }},
+		{"fig12", func() error { _, err := experiments.DistanceSweep(seed, 3); return err }},
+		{"fig13", func() error { _, err := experiments.MessageSizeSweep(seed, 3); return err }},
+		{"fig15", func() error { _, err := experiments.Fig15(seed, 10); return err }},
+		{"density", func() error { _, _, err := experiments.RelayDensitySweep(seed); return err }},
+		{"storm", func() error { _, _, err := experiments.StormSweep(seed); return err }},
+	}
+	for _, f := range figures {
+		fmt.Fprintf(os.Stderr, "bench: %s...\n", f.name)
+		start := time.Now()
+		if err := f.run(); err != nil {
+			return fmt.Errorf("bench %s: %w", f.name, err)
+		}
+		rep.Figures = append(rep.Figures, FigureTime{
+			Name:   f.name,
+			WallMs: float64(time.Since(start).Microseconds()) / 1000,
+		})
+	}
+
+	if cityPreset != "none" {
+		var cfg experiments.CityConfig
+		switch cityPreset {
+		case "short":
+			cfg = experiments.CityShort()
+		case "day":
+			cfg = experiments.CityDay()
+		default:
+			return fmt.Errorf("bench: unknown city preset %q (short|day|none)", cityPreset)
+		}
+		fmt.Fprintf(os.Stderr, "bench: city %s (%d devices, %v simulated)...\n",
+			cityPreset, cfg.Devices, cfg.Duration)
+		start := time.Now()
+		_, stats, err := experiments.RunCity(cfg)
+		if err != nil {
+			return fmt.Errorf("bench city: %w", err)
+		}
+		wall := time.Since(start)
+		rep.City = &CityBench{
+			Preset:       cityPreset,
+			Devices:      stats.Devices,
+			SimSeconds:   stats.SimSeconds,
+			Events:       stats.Events,
+			WallMs:       float64(wall.Microseconds()) / 1000,
+			EventsPerSec: float64(stats.Events) / wall.Seconds(),
+			L3Messages:   stats.L3Messages,
+			Deliveries:   stats.Deliveries,
+			OnTimeRate:   stats.OnTimeRate,
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	path := filepath.Join(outDir, fmt.Sprintf("BENCH_%s.json", rev))
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Println(path)
+	fmt.Printf("kernel: %.1f ns/event, %.2f allocs/event, %.0f events/sec\n",
+		rep.Kernel.NsPerEvent, rep.Kernel.AllocsPerEvent, rep.Kernel.EventsPerSec)
+	for _, sc := range rep.Scans {
+		fmt.Printf("scan@%d: %.1f µs\n", sc.Devices, sc.NsPerScan/1000)
+	}
+	if rep.City != nil {
+		fmt.Printf("city-%s: %d devices, %.0f sim-s in %.1f wall-s (%.0f events/sec)\n",
+			rep.City.Preset, rep.City.Devices, rep.City.SimSeconds,
+			rep.City.WallMs/1000, rep.City.EventsPerSec)
+	}
+	return nil
+}
+
+// benchKernel measures the fire-and-reschedule steady state over n events
+// with a hand-rolled loop: the same workload as BenchmarkSteadyStateEvent,
+// minus the testing framework.
+func benchKernel(n int) KernelBench {
+	s := simtime.NewScheduler(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < n {
+			if _, err := s.After(time.Millisecond, tick); err != nil {
+				panic(err)
+			}
+		}
+	}
+	if _, err := s.After(time.Millisecond, tick); err != nil {
+		panic(err)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if err := s.Run(); err != nil {
+		panic(err)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return KernelBench{
+		Events:         n,
+		NsPerEvent:     float64(elapsed.Nanoseconds()) / float64(n),
+		EventsPerSec:   float64(n) / elapsed.Seconds(),
+		AllocsPerEvent: float64(after.Mallocs-before.Mallocs) / float64(n),
+		BytesPerEvent:  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+	}
+}
+
+// benchScan measures one discovery against a population of n accepting
+// relays at constant 1-device/100 m² density, averaged over repeats.
+func benchScan(n int) ScanBench {
+	s := simtime.NewScheduler(1)
+	m, err := d2d.NewMedium(s, d2d.Config{Profile: radio.WiFiDirectProfile(), Model: energy.DefaultModel()})
+	if err != nil {
+		panic(err)
+	}
+	side := math.Sqrt(float64(n) * 100)
+	area := geo.Square(side)
+	rng := s.Rand()
+	for i := 0; i < n; i++ {
+		node, err := m.Join(hbmsg.DeviceID(fmt.Sprintf("relay-%05d", i)), d2d.RoleRelay,
+			geo.Static{P: area.RandomPoint(rng)}, energy.NewLedger())
+		if err != nil {
+			panic(err)
+		}
+		node.SetAccepting(true)
+		node.Advertise(8, d2d.MaxGroupOwnerIntent)
+	}
+	ue, err := m.Join("scanner", d2d.RoleUE,
+		geo.Static{P: geo.Point{X: side / 2, Y: side / 2}}, energy.NewLedger())
+	if err != nil {
+		panic(err)
+	}
+	const repeats = 2000
+	ue.Scan() // warm the grid and scratch buffer
+	start := time.Now()
+	for i := 0; i < repeats; i++ {
+		ue.Scan()
+	}
+	elapsed := time.Since(start)
+	return ScanBench{Devices: n, NsPerScan: float64(elapsed.Nanoseconds()) / repeats}
+}

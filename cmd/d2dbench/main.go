@@ -6,6 +6,11 @@
 //	d2dbench [-seed N] [-csv] [-out dir]
 //	         [-only table1|fig6|fig7|table3|fig8|fig9|fig10|fig11|table4|fig12|fig13|fig15|
 //	                density|storm|battery|extension|seeds|sensitivity|delay|incentive|ablations]
+//	d2dbench -json [-rev id] [-city short|day|none] [-out dir]
+//
+// With -json the command runs the bench trajectory instead — kernel
+// steady-state cost, scan latency, per-figure wall time and the city-scale
+// macro-run — and writes BENCH_<rev>.json (see `make bench-json`).
 package main
 
 import (
@@ -22,10 +27,13 @@ import (
 
 func main() {
 	var (
-		seed = flag.Int64("seed", experiments.DefaultSeed, "simulation seed")
-		csv  = flag.Bool("csv", false, "emit current traces as CSV instead of summaries")
-		only = flag.String("only", "", "run a single experiment (e.g. fig8, table3, ablations)")
-		out  = flag.String("out", "", "also write every table/figure as CSV files into this directory")
+		seed     = flag.Int64("seed", experiments.DefaultSeed, "simulation seed")
+		csv      = flag.Bool("csv", false, "emit current traces as CSV instead of summaries")
+		only     = flag.String("only", "", "run a single experiment (e.g. fig8, table3, ablations)")
+		out      = flag.String("out", "", "also write every table/figure as CSV files into this directory")
+		jsonMode = flag.Bool("json", false, "run the bench trajectory and write BENCH_<rev>.json")
+		rev      = flag.String("rev", "dev", "revision label for the BENCH_<rev>.json file name")
+		city     = flag.String("city", "short", "city preset for -json: short, day or none")
 	)
 	flag.Parse()
 	if *out != "" {
@@ -33,6 +41,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "d2dbench:", err)
 			os.Exit(1)
 		}
+	}
+	if *jsonMode {
+		if err := runBench(*seed, *rev, strings.ToLower(*city), *out); err != nil {
+			fmt.Fprintln(os.Stderr, "d2dbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	if err := run(*seed, *csv, strings.ToLower(*only), *out); err != nil {
 		fmt.Fprintln(os.Stderr, "d2dbench:", err)

@@ -8,7 +8,7 @@ package cellular
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"d2dhb/internal/energy"
@@ -141,7 +141,7 @@ func (bs *BaseStation) L3ByDevice() map[hbmsg.DeviceID]int {
 	for id := range bs.modems {
 		ids = append(ids, string(id))
 	}
-	sort.Strings(ids)
+	slices.Sort(ids)
 	for _, id := range ids {
 		out[hbmsg.DeviceID(id)] = bs.modems[hbmsg.DeviceID(id)].Counters().L3Messages
 	}

@@ -1,0 +1,106 @@
+package d2d
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"d2dhb/internal/energy"
+	"d2dhb/internal/geo"
+	"d2dhb/internal/hbmsg"
+	"d2dhb/internal/radio"
+	"d2dhb/internal/simtime"
+)
+
+// benchMedium builds a medium with n accepting relays scattered at a fixed
+// density of one device per 100 m² (a dense urban crowd) plus one scanning
+// UE near the middle, so the in-range population stays constant while the
+// total population grows — exactly the regime where a linear Scan turns
+// O(n) and the grid index stays O(neighborhood).
+func benchMedium(b *testing.B, n int) *Node {
+	b.Helper()
+	s := simtime.NewScheduler(1)
+	m, err := NewMedium(s, Config{Profile: radio.WiFiDirectProfile(), Model: energy.DefaultModel()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	side := math.Sqrt(float64(n) * 100)
+	area := geo.Square(side)
+	rng := s.Rand()
+	for i := 0; i < n; i++ {
+		node, err := m.Join(hbmsg.DeviceID(fmt.Sprintf("relay-%05d", i)), RoleRelay,
+			geo.Static{P: area.RandomPoint(rng)}, energy.NewLedger())
+		if err != nil {
+			b.Fatal(err)
+		}
+		node.SetAccepting(true)
+		node.Advertise(8, MaxGroupOwnerIntent)
+	}
+	ue, err := m.Join("scanner", RoleUE,
+		geo.Static{P: geo.Point{X: side / 2, Y: side / 2}}, energy.NewLedger())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ue
+}
+
+func benchmarkScan(b *testing.B, n int) {
+	ue := benchMedium(b, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var found int
+	for i := 0; i < b.N; i++ {
+		found = len(ue.Scan())
+	}
+	b.ReportMetric(float64(found), "peers-found")
+}
+
+// BenchmarkScan measures one D2D discovery against growing populations at
+// constant density: the EXPERIMENTS.md "Scan µs at 1k/10k devices" rows.
+func BenchmarkScan100(b *testing.B) { benchmarkScan(b, 100) }
+func BenchmarkScan1k(b *testing.B)  { benchmarkScan(b, 1_000) }
+func BenchmarkScan10k(b *testing.B) { benchmarkScan(b, 10_000) }
+func BenchmarkScanMoving(b *testing.B) {
+	// Every 25th device is a pedestrian walker: the grid must lazily
+	// re-bin movers without losing the neighborhood win.
+	s := simtime.NewScheduler(1)
+	m, err := NewMedium(s, Config{Profile: radio.WiFiDirectProfile(), Model: energy.DefaultModel()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 10_000
+	side := math.Sqrt(float64(n) * 100)
+	area := geo.Square(side)
+	rng := s.Rand()
+	for i := 0; i < n; i++ {
+		var mob geo.Mobility = geo.Static{P: area.RandomPoint(rng)}
+		if i%25 == 0 {
+			w, err := geo.NewRandomWaypoint(area, area.RandomPoint(rng), 0.5, 1.5, 0, int64(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			mob = w
+		}
+		node, err := m.Join(hbmsg.DeviceID(fmt.Sprintf("relay-%05d", i)), RoleRelay, mob, energy.NewLedger())
+		if err != nil {
+			b.Fatal(err)
+		}
+		node.SetAccepting(true)
+		node.Advertise(8, MaxGroupOwnerIntent)
+	}
+	ue, err := m.Join("scanner", RoleUE,
+		geo.Static{P: geo.Point{X: side / 2, Y: side / 2}}, energy.NewLedger())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Advance the clock so movers actually move between scans.
+		if err := s.RunUntil(s.Now() + time.Second); err != nil {
+			b.Fatal(err)
+		}
+		ue.Scan()
+	}
+}

@@ -9,7 +9,8 @@ package d2d
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"math"
+	"slices"
 	"time"
 
 	"d2dhb/internal/energy"
@@ -95,12 +96,35 @@ type Config struct {
 
 // Medium is the shared radio environment: every Node joined to the same
 // Medium can discover and connect to the others, subject to range.
+//
+// Discovery is served by a uniform-grid spatial index with cell size equal to
+// the radio range, so a Scan visits only the 5x5 (3x3 when nothing moves)
+// cell neighbourhood around the scanner instead of the whole population.
+// Nodes are classified at Join: static mobilities are binned once,
+// geo.SpeedLimited movers are re-binned lazily from a FIFO whose refresh
+// interval bounds their binned-position staleness to one cell, and mobilities
+// with no speed bound stay on a linear fallback list. Grid candidates are
+// re-sorted into join order before any RSSI draw, so seeded runs are
+// bit-identical to the plain linear scan.
 type Medium struct {
 	sched   *simtime.Scheduler
 	profile radio.Profile
 	model   energy.Model
 	nodes   map[hbmsg.DeviceID]*Node
-	order   []hbmsg.DeviceID // deterministic iteration order
+
+	cellSize   float64 // grid cell edge = radio range
+	grid       map[cellKey][]*Node
+	unbounded  []*Node       // mobilities without a speed bound: always scanned
+	moverQueue []*Node       // speed-limited movers, FIFO by binnedAt
+	moverHead  int           // queue start (popped entries are re-appended)
+	maxSpeed   float64       // fastest MaxSpeed seen among movers
+	rebinEvery time.Duration // staleness bound: cellSize / maxSpeed
+	scratch    []*Node       // reusable Scan candidate buffer
+}
+
+// cellKey addresses one grid cell: floor(position / cellSize) per axis.
+type cellKey struct {
+	cx, cy int32
 }
 
 // NewMedium builds a Medium on the given scheduler.
@@ -115,10 +139,12 @@ func NewMedium(sched *simtime.Scheduler, cfg Config) (*Medium, error) {
 		return nil, fmt.Errorf("d2d: model: %w", err)
 	}
 	return &Medium{
-		sched:   sched,
-		profile: cfg.Profile,
-		model:   cfg.Model,
-		nodes:   make(map[hbmsg.DeviceID]*Node),
+		sched:    sched,
+		profile:  cfg.Profile,
+		model:    cfg.Model,
+		nodes:    make(map[hbmsg.DeviceID]*Node),
+		cellSize: cfg.Profile.MaxRange(),
+		grid:     make(map[cellKey][]*Node),
 	}, nil
 }
 
@@ -144,19 +170,109 @@ func (m *Medium) Join(id hbmsg.DeviceID, role Role, mob geo.Mobility, ledger *en
 		return nil, fmt.Errorf("%w: %s", ErrDuplicateID, id)
 	}
 	n := &Node{
-		id:     id,
-		role:   role,
-		medium: m,
-		mob:    mob,
-		ledger: ledger,
-		links:  make(map[hbmsg.DeviceID]*Link),
+		id:       id,
+		role:     role,
+		medium:   m,
+		mob:      mob,
+		ledger:   ledger,
+		links:    make(map[hbmsg.DeviceID]*Link),
+		orderIdx: len(m.nodes),
 	}
 	if role == RoleRelay {
 		n.intent = MaxGroupOwnerIntent
 	}
 	m.nodes[id] = n
-	m.order = append(m.order, id)
+	m.index(n)
 	return n, nil
+}
+
+// index classifies a freshly joined node for the discovery grid. Mobility
+// models that advertise a speed bound are binned (and re-binned lazily when
+// the bound is positive); anything else lands on the linear fallback list.
+func (m *Medium) index(n *Node) {
+	sl, ok := n.mob.(geo.SpeedLimited)
+	if !ok || m.cellSize <= 0 {
+		m.unbounded = append(m.unbounded, n)
+		return
+	}
+	now := m.sched.Now()
+	m.addToCell(n, m.cellOf(n.mob.Pos(now)))
+	if v := sl.MaxSpeed(); v > 0 {
+		if v > m.maxSpeed {
+			m.maxSpeed = v
+			m.rebinEvery = time.Duration(m.cellSize / v * float64(time.Second))
+			if m.rebinEvery <= 0 {
+				m.rebinEvery = 1 // pathological speed: re-bin every event
+			}
+		}
+		n.binnedAt = now
+		m.moverQueue = append(m.moverQueue, n)
+	}
+}
+
+// cellOf maps a position to its grid cell.
+func (m *Medium) cellOf(p geo.Point) cellKey {
+	return cellKey{
+		cx: int32(math.Floor(p.X / m.cellSize)),
+		cy: int32(math.Floor(p.Y / m.cellSize)),
+	}
+}
+
+// addToCell appends n to the bucket of cell key.
+func (m *Medium) addToCell(n *Node, key cellKey) {
+	bucket := m.grid[key]
+	n.cell = key
+	n.cellSlot = len(bucket)
+	m.grid[key] = append(bucket, n)
+}
+
+// removeFromCell swap-deletes n from its bucket. Bucket order is not
+// meaningful — Scan re-sorts candidates into join order.
+func (m *Medium) removeFromCell(n *Node) {
+	bucket := m.grid[n.cell]
+	last := len(bucket) - 1
+	moved := bucket[last]
+	bucket[n.cellSlot] = moved
+	moved.cellSlot = n.cellSlot
+	bucket[last] = nil
+	if last == 0 {
+		delete(m.grid, n.cell)
+		return
+	}
+	m.grid[n.cell] = bucket[:last]
+}
+
+// refreshGrid re-bins movers whose binned position may have drifted by more
+// than one cell. The FIFO is ordered by binnedAt (re-binned nodes go to the
+// back with a fresh stamp, so the order stays monotonic) and the refresh
+// interval is cellSize over the fastest mover's bound: any peer still binned
+// is within one cell of its true position, which the 5x5 neighbourhood query
+// absorbs.
+func (m *Medium) refreshGrid() {
+	if m.moverHead >= len(m.moverQueue) {
+		return
+	}
+	now := m.sched.Now()
+	for m.moverHead < len(m.moverQueue) {
+		n := m.moverQueue[m.moverHead]
+		if now-n.binnedAt < m.rebinEvery {
+			break
+		}
+		m.moverHead++
+		n.binnedAt = now
+		if key := m.cellOf(n.mob.Pos(now)); key != n.cell {
+			m.removeFromCell(n)
+			m.addToCell(n, key)
+		}
+		m.moverQueue = append(m.moverQueue, n)
+	}
+	// Compact the consumed queue prefix once it dominates the slice.
+	if m.moverHead > 64 && m.moverHead*2 >= len(m.moverQueue) {
+		kept := copy(m.moverQueue, m.moverQueue[m.moverHead:])
+		clear(m.moverQueue[kept:])
+		m.moverQueue = m.moverQueue[:kept]
+		m.moverHead = 0
+	}
 }
 
 // Node is one device's D2D adapter.
@@ -170,6 +286,12 @@ type Node struct {
 	accepting    bool
 	freeCapacity int
 	intent       int
+
+	// Discovery-index bookkeeping, owned by the Medium.
+	orderIdx int           // join order; candidate sort key for RNG stability
+	cell     cellKey       // current grid cell (binned nodes only)
+	cellSlot int           // position within the cell bucket
+	binnedAt time.Duration // when the cell was last computed (movers only)
 
 	links   map[hbmsg.DeviceID]*Link
 	receive func(hb hbmsg.Heartbeat, link *Link)
@@ -219,13 +341,13 @@ func (n *Node) OnReceive(h func(hb hbmsg.Heartbeat, link *Link)) { n.receive = h
 // Links returns the node's open links in deterministic (peer id) order.
 func (n *Node) Links() []*Link {
 	out := make([]*Link, 0, len(n.links))
-	ids := make([]string, 0, len(n.links))
+	ids := make([]hbmsg.DeviceID, 0, len(n.links))
 	for id := range n.links {
-		ids = append(ids, string(id))
+		ids = append(ids, id)
 	}
-	sort.Strings(ids)
+	slices.Sort(ids)
 	for _, id := range ids {
-		out = append(out, n.links[hbmsg.DeviceID(id)])
+		out = append(out, n.links[id])
 	}
 	return out
 }
@@ -240,14 +362,38 @@ func (n *Node) Links() []*Link {
 func (n *Node) Scan() []PeerInfo {
 	m := n.medium
 	n.chargeDiscovery(n.role)
+	m.refreshGrid()
+
+	// Collect candidates from the scanner's cell neighbourhood plus the
+	// unbounded fallback list. A binned mover can be up to one cell from its
+	// binned position and an in-range peer up to one cell (= one range) from
+	// the scanner, so radius 2 covers every possible in-range peer; with no
+	// movers binned positions are exact and radius 1 suffices.
+	pos := n.Pos()
+	cands := m.scratch[:0]
+	center := m.cellOf(pos)
+	r := int32(1)
+	if len(m.moverQueue)-m.moverHead > 0 {
+		r = 2
+	}
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			cands = append(cands, m.grid[cellKey{cx: center.cx + dx, cy: center.cy + dy}]...)
+		}
+	}
+	cands = append(cands, m.unbounded...)
+
+	// The RNG draw sequence must match a full linear scan bit for bit:
+	// restore join order before filtering, then draw RSSI only for peers
+	// that pass the same range gate.
+	slices.SortFunc(cands, func(a, b *Node) int { return a.orderIdx - b.orderIdx })
 
 	var found []PeerInfo
-	for _, id := range m.order {
-		peer := m.nodes[id]
+	for _, peer := range cands {
 		if peer == n || !peer.accepting {
 			continue
 		}
-		d := n.Pos().Dist(peer.Pos())
+		d := pos.Dist(peer.Pos())
 		if !m.profile.InRange(d) {
 			continue
 		}
@@ -260,11 +406,20 @@ func (n *Node) Scan() []PeerInfo {
 			FreeCapacity: peer.freeCapacity,
 		})
 	}
-	sort.Slice(found, func(i, j int) bool {
-		if found[i].EstDistance != found[j].EstDistance {
-			return found[i].EstDistance < found[j].EstDistance
+	m.scratch = cands[:0]
+	slices.SortFunc(found, func(a, b PeerInfo) int {
+		switch {
+		case a.EstDistance < b.EstDistance:
+			return -1
+		case a.EstDistance > b.EstDistance:
+			return 1
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		default:
+			return 0
 		}
-		return found[i].ID < found[j].ID
 	})
 	return found
 }

@@ -1,0 +1,99 @@
+package d2d
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"d2dhb/internal/energy"
+	"d2dhb/internal/geo"
+	"d2dhb/internal/hbmsg"
+	"d2dhb/internal/radio"
+	"d2dhb/internal/simtime"
+)
+
+// noBound hides a mobility's speed bound, forcing the unbounded fallback.
+type noBound struct{ inner geo.Mobility }
+
+func (u noBound) Pos(at time.Duration) geo.Point { return u.inner.Pos(at) }
+
+// TestScanMatchesBruteForce is the grid-index equivalence property: at every
+// instant, Scan must return exactly the accepting in-range peers a full
+// linear sweep finds — across static devices, slow and fast movers that
+// cross cells, devices far outside the scanner's neighbourhood, and custom
+// mobilities with no speed bound.
+func TestScanMatchesBruteForce(t *testing.T) {
+	s := simtime.NewScheduler(3)
+	m, err := NewMedium(s, Config{Profile: radio.WiFiDirectProfile(), Model: energy.DefaultModel()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	area := geo.Square(400) // ~11x11 cells at Wi-Fi Direct range
+	rng := s.Rand()
+	const n = 300
+	nodes := make([]*Node, 0, n)
+	for i := 0; i < n; i++ {
+		p := area.RandomPoint(rng)
+		var mob geo.Mobility
+		switch i % 5 {
+		case 0:
+			mob = geo.Static{P: p}
+		case 1: // pedestrian
+			w, err := geo.NewRandomWaypoint(area, p, 0.5, 2.0, time.Second, int64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			mob = w
+		case 2: // vehicle: crosses a cell in under three steps
+			w, err := geo.NewRandomWaypoint(area, p, 8, 15, 0, int64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			mob = w
+		case 3:
+			mob = geo.Orbit{Center: p, Radius: 20, Omega: 0.05, Phase: float64(i)}
+		default:
+			mob = noBound{inner: geo.Line{From: p, To: area.Clamp(p.Add(50, 30)), Speed: 1.5}}
+		}
+		node, err := m.Join(hbmsg.DeviceID(fmt.Sprintf("n-%03d", i)), RoleRelay, mob, energy.NewLedger())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Leave a fifth of the population not accepting: they must never
+		// appear in results even when in range.
+		node.SetAccepting(i%5 != 4 || i%2 == 0)
+		nodes = append(nodes, node)
+	}
+
+	bruteForce := func(scanner *Node) map[hbmsg.DeviceID]bool {
+		want := make(map[hbmsg.DeviceID]bool)
+		pos := scanner.Pos()
+		for _, peer := range nodes {
+			if peer == scanner || !peer.accepting {
+				continue
+			}
+			if m.profile.InRange(pos.Dist(peer.Pos())) {
+				want[peer.id] = true
+			}
+		}
+		return want
+	}
+
+	for step := 0; step < 120; step++ {
+		if err := s.RunUntil(s.Now() + 2*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		scanner := nodes[(step*37)%n] // rotate the vantage point
+		want := bruteForce(scanner)
+		got := scanner.Scan()
+		if len(got) != len(want) {
+			t.Fatalf("step %d (t=%v) scanner %s: grid found %d peers, brute force %d",
+				step, s.Now(), scanner.id, len(got), len(want))
+		}
+		for _, pi := range got {
+			if !want[pi.ID] {
+				t.Fatalf("step %d: grid returned %s which is not an accepting in-range peer", step, pi.ID)
+			}
+		}
+	}
+}

@@ -169,7 +169,9 @@ func (r *Relay) Stop() {
 	r.stopped = true
 	r.emit(trace.Event{Kind: trace.KindStop})
 	r.sched.Stop(r.flushTimer)
+	r.flushTimer = nil
 	r.sched.Stop(r.periodTimer)
+	r.periodTimer = nil
 	r.node.SetAccepting(false)
 	for _, l := range r.node.Links() {
 		l.Close()
@@ -249,6 +251,7 @@ func (r *Relay) onReceive(hb hbmsg.Heartbeat, link *d2d.Link) {
 // rearmFlush (re)schedules the flush at the policy's current deadline.
 func (r *Relay) rearmFlush() {
 	r.sched.Stop(r.flushTimer)
+	r.flushTimer = nil
 	at, ok := r.policy.Deadline()
 	if !ok {
 		return
@@ -268,7 +271,11 @@ func (r *Relay) flush() {
 	if r.stopped {
 		return
 	}
+	// The handle must be dropped as soon as it is cancelled (or has fired,
+	// when flush runs as the timer's own callback): the scheduler recycles
+	// dead timers, so a retained handle would alias the next event armed.
 	r.sched.Stop(r.flushTimer)
+	r.flushTimer = nil
 	now := r.sched.Now()
 	batch := r.policy.Flush(now)
 	full := make([]hbmsg.Heartbeat, 0, len(batch)+1)

@@ -182,14 +182,18 @@ func (u *UE) Start() error {
 	return nil
 }
 
-// Stop halts the heartbeat loops and cancels pending feedback timers.
+// Stop halts the heartbeat loops and cancels pending feedback timers. The
+// handles are dropped as they are cancelled: the scheduler recycles stopped
+// timers, so keeping them would alias events armed by other devices.
 func (u *UE) Stop() {
 	u.stopped = true
-	for _, t := range u.hbTimers {
+	for i, t := range u.hbTimers {
 		u.sched.Stop(t)
+		u.hbTimers[i] = nil
 	}
-	for _, p := range u.pending {
+	for seq, p := range u.pending {
 		u.sched.Stop(p.timer)
+		delete(u.pending, seq)
 	}
 	if u.link != nil {
 		u.link.Close()

@@ -9,7 +9,7 @@ package energy
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 )
@@ -296,7 +296,7 @@ func (l *Ledger) Total() MicroAmpHours {
 	for p := range l.phases {
 		keys = append(keys, int(p))
 	}
-	sort.Ints(keys)
+	slices.Sort(keys)
 	var sum MicroAmpHours
 	for _, p := range keys {
 		sum += l.phases[Phase(p)]
@@ -332,7 +332,7 @@ func (l *Ledger) String() string {
 	for p := range snap {
 		keys = append(keys, p)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	slices.Sort(keys)
 	s := ""
 	for i, p := range keys {
 		if i > 0 {

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"d2dhb/internal/core"
+	"d2dhb/internal/geo"
+	"d2dhb/internal/hbmsg"
+)
+
+// CityConfig parameterizes the city-scale macro-scenario: a large mixed
+// crowd — static phones, pedestrians and vehicle passengers — exchanging
+// heartbeats through volunteer relays over a full simulated interval. It is
+// the framework's capacity benchmark: every layer (event kernel, discovery
+// grid, matching, scheduling, RRC, energy accounting) runs at population
+// scale.
+type CityConfig struct {
+	Seed    int64
+	Devices int // total population, relays included
+	// RelayFraction is the share of the population volunteering as relays.
+	RelayFraction float64
+	// Side is the square deployment area edge in meters. The default keeps
+	// roughly one device per 100 m² — a dense urban district.
+	Side     float64
+	Duration time.Duration
+	// Capacity is each relay's per-period collection capacity.
+	Capacity int
+	// DisableD2D runs the same population as the paper's original system
+	// (every device on its own cellular connection) for baseline
+	// comparisons.
+	DisableD2D bool
+}
+
+// CityShort is the CI preset: 10k devices for two heartbeat periods.
+func CityShort() CityConfig {
+	return CityConfig{
+		Seed:          DefaultSeed,
+		Devices:       10_000,
+		RelayFraction: 0.10,
+		Side:          1000,
+		Duration:      2*stdProfile().Period + 30*time.Second,
+		Capacity:      16,
+	}
+}
+
+// CityDay is the headline run: 10k devices for 24 simulated hours, the
+// "city day in wall-clock minutes" figure in EXPERIMENTS.md.
+func CityDay() CityConfig {
+	cfg := CityShort()
+	cfg.Duration = 24 * time.Hour
+	return cfg
+}
+
+func (c CityConfig) validate() error {
+	if c.Devices <= 0 {
+		return fmt.Errorf("experiments: city devices must be positive, got %d", c.Devices)
+	}
+	if c.RelayFraction <= 0 || c.RelayFraction >= 1 {
+		return fmt.Errorf("experiments: relay fraction must be in (0,1), got %v", c.RelayFraction)
+	}
+	if c.Side <= 0 {
+		return fmt.Errorf("experiments: city side must be positive, got %v", c.Side)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("experiments: city duration must be positive, got %v", c.Duration)
+	}
+	if c.Capacity <= 0 {
+		return fmt.Errorf("experiments: relay capacity must be positive, got %v", c.Capacity)
+	}
+	return nil
+}
+
+// CityScenario builds the configured city. The population mixes mobility
+// classes deterministically: among UEs, 60 % sit still, 25 % walk
+// (0.5–2 m/s with pauses), 10 % loiter on short orbits and 5 % ride in
+// vehicles (8–15 m/s); relays are 80 % parked and 20 % walking.
+func CityScenario(cfg CityConfig) (*core.Simulation, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	profile := stdProfile()
+	sim, err := core.New(core.Options{Seed: cfg.Seed, Duration: cfg.Duration, DisableD2D: cfg.DisableD2D})
+	if err != nil {
+		return nil, err
+	}
+	area := geo.Square(cfg.Side)
+	rng := sim.Scheduler().Rand()
+	offset := func() time.Duration {
+		return time.Duration(rng.Int63n(int64(profile.Period)))
+	}
+	walker := func(p geo.Point, minV, maxV float64, pause time.Duration, seed int64) (geo.Mobility, error) {
+		return geo.NewRandomWaypoint(area, p, minV, maxV, pause, seed)
+	}
+
+	numRelays := int(float64(cfg.Devices) * cfg.RelayFraction)
+	if numRelays < 1 {
+		numRelays = 1
+	}
+	for i := 0; i < numRelays; i++ {
+		p := area.RandomPoint(rng)
+		mob := geo.Mobility(geo.Static{P: p})
+		if i%5 == 4 {
+			w, err := walker(p, 0.5, 1.5, 30*time.Second, cfg.Seed+int64(i))
+			if err != nil {
+				return nil, err
+			}
+			mob = w
+		}
+		if _, err := sim.AddRelay(core.RelaySpec{
+			ID:          hbmsg.DeviceID(fmt.Sprintf("relay-%05d", i)),
+			Profile:     profile,
+			Mobility:    mob,
+			Capacity:    cfg.Capacity,
+			StartOffset: offset(),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	numUEs := cfg.Devices - numRelays
+	for i := 0; i < numUEs; i++ {
+		p := area.RandomPoint(rng)
+		var mob geo.Mobility
+		switch {
+		case i%20 == 19: // 5 %: vehicle passenger
+			w, err := walker(p, 8, 15, 0, cfg.Seed+int64(numRelays+i))
+			if err != nil {
+				return nil, err
+			}
+			mob = w
+		case i%10 == 9: // 10 %: loiterer circling a spot
+			mob = geo.Orbit{Center: p, Radius: 5 + 10*rng.Float64(), Omega: 0.05, Phase: float64(i)}
+		case i%4 != 0: // 60 %: static
+			mob = geo.Static{P: p}
+		default: // 25 %: pedestrian
+			w, err := walker(p, 0.5, 2.0, 20*time.Second, cfg.Seed+int64(numRelays+i))
+			if err != nil {
+				return nil, err
+			}
+			mob = w
+		}
+		if _, err := sim.AddUE(core.UESpec{
+			ID:          hbmsg.DeviceID(fmt.Sprintf("ue-%05d", i)),
+			Profile:     profile,
+			Mobility:    mob,
+			StartOffset: offset(),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return sim, nil
+}
+
+// CityStats summarizes a city run for the benchmark harness. Wall-clock
+// timing is the caller's concern (the simulation layer deals only in virtual
+// time); Events lets it derive events/sec and ns/event.
+type CityStats struct {
+	Devices    int
+	Relays     int
+	UEs        int
+	Events     uint64 // kernel events fired
+	SimSeconds float64
+	L3Messages int
+	Deliveries int
+	OnTimeRate float64
+}
+
+// RunCity builds and runs the configured city, returning the full report
+// plus the kernel-level stats the bench harness records.
+func RunCity(cfg CityConfig) (*core.Report, CityStats, error) {
+	sim, err := CityScenario(cfg)
+	if err != nil {
+		return nil, CityStats{}, err
+	}
+	rep, err := sim.Run()
+	if err != nil {
+		return nil, CityStats{}, err
+	}
+	numRelays := int(float64(cfg.Devices) * cfg.RelayFraction)
+	if numRelays < 1 {
+		numRelays = 1
+	}
+	return rep, CityStats{
+		Devices:    cfg.Devices,
+		Relays:     numRelays,
+		UEs:        cfg.Devices - numRelays,
+		Events:     sim.Scheduler().Fired(),
+		SimSeconds: cfg.Duration.Seconds(),
+		L3Messages: rep.TotalL3Messages,
+		Deliveries: rep.Deliveries,
+		OnTimeRate: rep.OnTimeRate(),
+	}, nil
+}

@@ -19,9 +19,10 @@
 package faultnet
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -231,11 +232,11 @@ func Generate(seed int64, cfg GenConfig) []Window {
 		}
 		windows = append(windows, Window{From: from, To: from + dur, Fault: f})
 	}
-	sort.Slice(windows, func(i, j int) bool {
-		if windows[i].From != windows[j].From {
-			return windows[i].From < windows[j].From
+	slices.SortFunc(windows, func(a, b Window) int {
+		if a.From != b.From {
+			return cmp.Compare(a.From, b.From)
 		}
-		return windows[i].Fault.Kind < windows[j].Fault.Kind
+		return cmp.Compare(a.Fault.Kind, b.Fault.Kind)
 	})
 	return windows
 }

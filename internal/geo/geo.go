@@ -75,15 +75,30 @@ type Mobility interface {
 	Pos(at time.Duration) Point
 }
 
+// SpeedLimited is implemented by mobility models whose displacement rate is
+// bounded: |Pos(t2) - Pos(t1)| <= MaxSpeed * (t2 - t1) for all t1 <= t2.
+// Spatial indexes use the bound to refresh cached positions lazily; a model
+// that cannot honour it must not implement the interface (it is then treated
+// as unbounded and tracked exactly).
+type SpeedLimited interface {
+	Mobility
+	// MaxSpeed returns the displacement bound in m/s. Zero means the model
+	// never moves.
+	MaxSpeed() float64
+}
+
 // Static is a Mobility that never moves.
 type Static struct {
 	P Point
 }
 
-var _ Mobility = Static{}
+var _ SpeedLimited = Static{}
 
 // Pos implements Mobility.
 func (s Static) Pos(time.Duration) Point { return s.P }
+
+// MaxSpeed implements SpeedLimited: a static device never moves.
+func (s Static) MaxSpeed() float64 { return 0 }
 
 // waypointLeg is one precomputed leg of a random-waypoint walk.
 type waypointLeg struct {
@@ -168,6 +183,10 @@ func (w *RandomWaypoint) extend(at time.Duration) {
 	}
 }
 
+// MaxSpeed implements SpeedLimited: every leg's speed is drawn from
+// [minSpeed, maxSpeed] and pauses do not move, so maxSpeed bounds the walk.
+func (w *RandomWaypoint) MaxSpeed() float64 { return w.maxSpeed }
+
 func interpolate(leg waypointLeg, at time.Duration) Point {
 	if leg.duration <= 0 || leg.from == leg.to {
 		return leg.to
@@ -192,7 +211,7 @@ type Orbit struct {
 	Phase  float64 // rad at t=0
 }
 
-var _ Mobility = Orbit{}
+var _ SpeedLimited = Orbit{}
 
 // Pos implements Mobility.
 func (o Orbit) Pos(at time.Duration) Point {
@@ -203,6 +222,9 @@ func (o Orbit) Pos(at time.Duration) Point {
 	}
 }
 
+// MaxSpeed implements SpeedLimited: tangential speed is |Omega| * Radius.
+func (o Orbit) MaxSpeed() float64 { return math.Abs(o.Omega) * o.Radius }
+
 // Line is a Mobility that departs From at Start and moves toward To at
 // Speed m/s, stopping on arrival. Before Start the device sits at From.
 type Line struct {
@@ -211,7 +233,7 @@ type Line struct {
 	Start    time.Duration
 }
 
-var _ Mobility = Line{}
+var _ SpeedLimited = Line{}
 
 // Pos implements Mobility.
 func (l Line) Pos(at time.Duration) Point {
@@ -231,4 +253,13 @@ func (l Line) Pos(at time.Duration) Point {
 		X: l.From.X + (l.To.X-l.From.X)*frac,
 		Y: l.From.Y + (l.To.Y-l.From.Y)*frac,
 	}
+}
+
+// MaxSpeed implements SpeedLimited: the device is stationary before Start
+// and after arrival, and moves at Speed in between.
+func (l Line) MaxSpeed() float64 {
+	if l.Speed < 0 {
+		return 0
+	}
+	return l.Speed
 }

@@ -21,10 +21,11 @@
 package lint
 
 import (
+	"cmp"
 	"fmt"
 	"go/token"
 	"path/filepath"
-	"sort"
+	"slices"
 )
 
 // Finding is one analyzer diagnostic.
@@ -121,18 +122,17 @@ func (l *Loader) analyze(cfg *Config, roots []*Package) []Finding {
 			findings[i].Pos.Filename = rel
 		}
 	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
+	slices.SortFunc(findings, func(a, b Finding) int {
+		if c := cmp.Compare(a.Pos.Filename, b.Pos.Filename); c != 0 {
+			return c
 		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
+		if c := cmp.Compare(a.Pos.Line, b.Pos.Line); c != 0 {
+			return c
 		}
-		if a.Analyzer != b.Analyzer {
-			return a.Analyzer < b.Analyzer
+		if c := cmp.Compare(a.Analyzer, b.Analyzer); c != 0 {
+			return c
 		}
-		return a.Message < b.Message
+		return cmp.Compare(a.Message, b.Message)
 	})
 	return findings
 }

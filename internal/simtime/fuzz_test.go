@@ -1,0 +1,194 @@
+package simtime
+
+import (
+	"container/heap"
+	"testing"
+	"time"
+)
+
+// The fuzz target checks the inlined 4-ary pooled kernel against a reference
+// model built on container/heap — the implementation the kernel replaced.
+// Any interleaving of At/After/Stop/Step must produce the same fire order,
+// clock positions, queue depths and Stop results on both.
+
+type modelEvent struct {
+	at    time.Duration
+	seq   uint64
+	index int
+	id    int
+	live  bool
+}
+
+type modelHeap []*modelEvent
+
+func (h modelHeap) Len() int { return len(h) }
+func (h modelHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h modelHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *modelHeap) Push(x any) {
+	e := x.(*modelEvent)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *modelHeap) Pop() any {
+	old := *h
+	n := len(old) - 1
+	e := old[n]
+	old[n] = nil
+	e.index = -1
+	*h = old[:n]
+	return e
+}
+
+// model is the reference scheduler: same (at, seq) ordering contract,
+// implemented the slow obvious way.
+type model struct {
+	now   time.Duration
+	seq   uint64
+	queue modelHeap
+}
+
+func (m *model) schedule(at time.Duration, id int) *modelEvent {
+	if at < m.now {
+		return nil
+	}
+	e := &modelEvent{at: at, seq: m.seq, id: id, live: true}
+	m.seq++
+	heap.Push(&m.queue, e)
+	return e
+}
+
+func (m *model) stop(e *modelEvent) bool {
+	if e == nil || !e.live {
+		return false
+	}
+	heap.Remove(&m.queue, e.index)
+	e.live = false
+	return true
+}
+
+func (m *model) step() (int, bool) {
+	if len(m.queue) == 0 {
+		return 0, false
+	}
+	e := heap.Pop(&m.queue).(*modelEvent)
+	m.now = e.at
+	e.live = false
+	return e.id, true
+}
+
+// FuzzKernelVsHeapModel drives both schedulers with the same op stream
+// decoded from the fuzz input: schedule an event, stop a live event, or step.
+// Only model-live handles are ever stopped — stale real handles are dead per
+// the Timer lifetime rule and may alias recycled events by design.
+func FuzzKernelVsHeapModel(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 0, 10, 2, 2, 0, 2, 2})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 1, 2, 0, 2, 2, 2})
+	f.Add([]byte{0, 255, 255, 0, 128, 0, 1, 0, 0, 1, 2, 1, 0, 2, 2, 2, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := NewScheduler(1)
+		m := &model{}
+		var gotFired []int
+		type livePair struct {
+			timer *Timer
+			ev    *modelEvent
+		}
+		var live []livePair
+		nextID := 0
+		i := 0
+		next := func() byte {
+			if i >= len(data) {
+				return 0
+			}
+			b := data[i]
+			i++
+			return b
+		}
+		steps := 0
+		for i < len(data) && steps < 4096 {
+			steps++
+			switch next() % 3 {
+			case 0: // schedule at now + delay
+				d := time.Duration(next())<<8 | time.Duration(next())
+				d *= time.Millisecond
+				id := nextID
+				nextID++
+				tm, err := s.After(d, func() { gotFired = append(gotFired, id) })
+				if err != nil {
+					t.Fatalf("After(%v): %v", d, err)
+				}
+				ev := m.schedule(m.now+d, id)
+				if ev == nil {
+					t.Fatalf("model rejected schedule the kernel accepted")
+				}
+				live = append(live, livePair{tm, ev})
+			case 1: // stop a live event
+				if len(live) == 0 {
+					continue
+				}
+				k := int(next()) % len(live)
+				p := live[k]
+				gotStop := s.Stop(p.timer)
+				wantStop := m.stop(p.ev)
+				if gotStop != wantStop {
+					t.Fatalf("Stop mismatch: kernel %v, model %v", gotStop, wantStop)
+				}
+				live = append(live[:k], live[k+1:]...)
+			case 2: // step both
+				wantID, wantOK := m.step()
+				before := len(gotFired)
+				gotOK := s.Step()
+				if gotOK != wantOK {
+					t.Fatalf("Step mismatch: kernel %v, model %v", gotOK, wantOK)
+				}
+				if !gotOK {
+					continue
+				}
+				if len(gotFired) != before+1 {
+					t.Fatalf("Step fired %d callbacks, want 1", len(gotFired)-before)
+				}
+				if gotFired[before] != wantID {
+					t.Fatalf("fire order diverged: kernel fired %d, model fired %d", gotFired[before], wantID)
+				}
+				// Drop the fired handle from the live set.
+				for k, p := range live {
+					if p.ev.id == wantID {
+						live = append(live[:k], live[k+1:]...)
+						break
+					}
+				}
+			}
+			if s.Now() != m.now {
+				t.Fatalf("clock diverged: kernel %v, model %v", s.Now(), m.now)
+			}
+			if s.Pending() != len(m.queue) {
+				t.Fatalf("queue depth diverged: kernel %d, model %d", s.Pending(), len(m.queue))
+			}
+		}
+		// Drain both and compare the tail order.
+		for {
+			wantID, wantOK := m.step()
+			before := len(gotFired)
+			if s.Step() != wantOK {
+				t.Fatalf("drain Step mismatch at model id %d", wantID)
+			}
+			if !wantOK {
+				break
+			}
+			if gotFired[before] != wantID {
+				t.Fatalf("drain order diverged: kernel %d, model %d", gotFired[before], wantID)
+			}
+		}
+		if s.Now() != m.now || s.Pending() != 0 {
+			t.Fatalf("post-drain state diverged: now %v/%v pending %d", s.Now(), m.now, s.Pending())
+		}
+	})
+}

@@ -3,10 +3,15 @@
 // A Scheduler owns a virtual clock and an event queue. Events scheduled for
 // the same instant fire in scheduling order, which — together with a seeded
 // random source — makes every simulation run reproducible.
+//
+// The event queue is an inlined 4-ary min-heap of *Timer ordered by
+// (instant, scheduling sequence), and fired or stopped Timers are recycled
+// through a free list, so the steady state of a simulation — events firing
+// and scheduling successors — performs no heap allocation and no interface
+// dispatch. See the Timer type for the handle-lifetime rule this implies.
 package simtime
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -19,12 +24,20 @@ var ErrStopped = errors.New("simtime: scheduler stopped")
 
 // Timer is a handle to a scheduled event. A Timer is owned by the Scheduler
 // that created it and must not be shared across schedulers.
+//
+// A handle is live from At/After until its event fires or Stop returns
+// true; the scheduler then recycles the Timer for a future event, so a
+// retained stale handle may alias a different live event. Holders must
+// therefore drop (nil out) stored handles when the event callback runs or
+// immediately after stopping them, and must not call Stop, At or Stopped
+// through a handle kept past that point.
 type Timer struct {
 	at      time.Duration
 	seq     uint64
-	index   int // index in the heap, -1 when fired or stopped
+	index   int // position in the heap, -1 when fired or stopped
 	fn      func()
 	stopped bool
+	next    *Timer // free-list link while recycled
 }
 
 // At reports the virtual instant the timer fires at.
@@ -39,7 +52,8 @@ func (t *Timer) Stopped() bool { return t.stopped }
 type Scheduler struct {
 	now     time.Duration
 	seq     uint64
-	queue   eventQueue
+	queue   []*Timer // 4-ary min-heap ordered by (at, seq)
+	free    *Timer   // recycled timers, linked through Timer.next
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
@@ -63,7 +77,7 @@ func (s *Scheduler) Rand() *rand.Rand { return s.rng }
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
 // Pending reports how many events are queued.
-func (s *Scheduler) Pending() int { return s.queue.Len() }
+func (s *Scheduler) Pending() int { return len(s.queue) }
 
 // At schedules fn to run at the absolute virtual instant at. Scheduling in
 // the past (before Now) is rejected with an error: in a discrete-event model
@@ -76,9 +90,19 @@ func (s *Scheduler) At(at time.Duration, fn func()) (*Timer, error) {
 	if at < s.now {
 		return nil, fmt.Errorf("simtime: schedule at %v is before now %v", at, s.now)
 	}
-	t := &Timer{at: at, seq: s.seq, fn: fn}
+	t := s.free
+	if t != nil {
+		s.free = t.next
+		t.next = nil
+		t.stopped = false
+	} else {
+		t = &Timer{}
+	}
+	t.at = at
+	t.seq = s.seq
+	t.fn = fn
 	s.seq++
-	heap.Push(&s.queue, t)
+	s.push(t)
 	return t, nil
 }
 
@@ -92,28 +116,40 @@ func (s *Scheduler) After(d time.Duration, fn func()) (*Timer, error) {
 }
 
 // Stop cancels a pending timer. It returns true if the timer was pending and
-// is now cancelled, false if it already fired or was already stopped.
+// is now cancelled, false if it already fired or was already stopped. A
+// cancelled timer's event function is released immediately — a stopped Timer
+// no longer pins its closure or anything the closure captured — and the
+// Timer is recycled, so the handle is dead once Stop returns true.
 func (s *Scheduler) Stop(t *Timer) bool {
 	if t == nil || t.stopped || t.index < 0 {
 		return false
 	}
-	heap.Remove(&s.queue, t.index)
+	s.remove(t.index)
 	t.stopped = true
-	t.index = -1
+	t.fn = nil
+	t.next = s.free
+	s.free = t
 	return true
 }
 
 // Step executes the next pending event, advancing the clock to its instant.
 // It returns false when the queue is empty.
 func (s *Scheduler) Step() bool {
-	if s.queue.Len() == 0 {
+	if len(s.queue) == 0 {
 		return false
 	}
-	t, _ := heap.Pop(&s.queue).(*Timer)
+	t := s.popMin()
 	s.now = t.at
-	t.index = -1
 	s.fired++
-	t.fn()
+	fn := t.fn
+	t.fn = nil
+	fn()
+	// Recycle only after the callback returns: during fn the fired handle
+	// is inert (index -1, nil fn) but cannot yet alias a new event, so the
+	// self-rescheduling pattern `h = sched.After(...)` inside h's own
+	// callback stays safe.
+	t.next = s.free
+	s.free = t
 	return true
 }
 
@@ -137,7 +173,7 @@ func (s *Scheduler) RunUntil(horizon time.Duration) error {
 		return fmt.Errorf("simtime: horizon %v is before now %v", horizon, s.now)
 	}
 	s.stopped = false
-	for s.queue.Len() > 0 && s.queue[0].at <= horizon {
+	for len(s.queue) > 0 && s.queue[0].at <= horizon {
 		s.Step()
 		if s.stopped {
 			return ErrStopped
@@ -151,36 +187,111 @@ func (s *Scheduler) RunUntil(horizon time.Duration) error {
 // finishes. It is intended to be called from inside an event function.
 func (s *Scheduler) StopRun() { s.stopped = true }
 
-// eventQueue is a min-heap ordered by (at, seq) so that simultaneous events
-// fire in scheduling order.
-type eventQueue []*Timer
+// The event queue is a 4-ary min-heap laid out in a slice: children of node
+// i live at 4i+1..4i+4. Compared with the binary container/heap it halves
+// the tree depth, replaces interface dispatch with direct calls and keeps
+// sift loops branch-cheap — (at, seq) is a strict total order, so any heap
+// arity yields the same pop sequence.
+const heapArity = 4
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// less orders timers by instant, then scheduling sequence.
+func less(a, b *Timer) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// push appends t and restores the heap property.
+func (s *Scheduler) push(t *Timer) {
+	t.index = len(s.queue)
+	s.queue = append(s.queue, t)
+	s.siftUp(t.index)
 }
 
-func (q *eventQueue) Push(x any) {
-	t, _ := x.(*Timer)
-	t.index = len(*q)
-	*q = append(*q, t)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
+// popMin removes and returns the earliest timer.
+func (s *Scheduler) popMin() *Timer {
+	q := s.queue
+	t := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	s.queue = q[:n]
+	if n > 0 {
+		last.index = 0
+		s.queue[0] = last
+		s.siftDown(0)
+	}
+	t.index = -1
 	return t
+}
+
+// remove deletes the timer at heap position i.
+func (s *Scheduler) remove(i int) {
+	q := s.queue
+	n := len(q) - 1
+	t := q[i]
+	last := q[n]
+	q[n] = nil
+	s.queue = q[:n]
+	if i != n {
+		last.index = i
+		s.queue[i] = last
+		if !s.siftDown(i) {
+			s.siftUp(i)
+		}
+	}
+	t.index = -1
+}
+
+// siftUp moves the timer at position i toward the root until its parent is
+// not later than it.
+func (s *Scheduler) siftUp(i int) {
+	q := s.queue
+	t := q[i]
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !less(t, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		q[i].index = i
+		i = p
+	}
+	q[i] = t
+	t.index = i
+}
+
+// siftDown moves the timer at position i toward the leaves, reporting
+// whether it moved at all.
+func (s *Scheduler) siftDown(i int) bool {
+	q := s.queue
+	n := len(q)
+	t := q[i]
+	start := i
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if less(q[c], q[min]) {
+				min = c
+			}
+		}
+		if !less(q[min], t) {
+			break
+		}
+		q[i] = q[min]
+		q[i].index = i
+		i = min
+	}
+	q[i] = t
+	t.index = i
+	return i != start
 }

@@ -16,8 +16,9 @@
 package telemetry
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -139,7 +140,7 @@ func entryKey(name string, labels []Label) string {
 // sortLabels normalizes label order so identity and rendering are stable.
 func sortLabels(labels []Label) []Label {
 	out := append([]Label(nil), labels...)
-	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	slices.SortFunc(out, func(a, b Label) int { return cmp.Compare(a.Key, b.Key) })
 	return out
 }
 
@@ -294,11 +295,11 @@ func (r *Registry) Dump() Dump {
 		es = append(es, e)
 	}
 	r.mu.Unlock()
-	sort.Slice(es, func(i, j int) bool {
-		if es[i].name != es[j].name {
-			return es[i].name < es[j].name
+	slices.SortFunc(es, func(a, b *entry) int {
+		if c := cmp.Compare(a.name, b.name); c != 0 {
+			return c
 		}
-		return entryKey(es[i].name, es[i].labels) < entryKey(es[j].name, es[j].labels)
+		return cmp.Compare(entryKey(a.name, a.labels), entryKey(b.name, b.labels))
 	})
 	d := Dump{Metrics: make([]Metric, 0, len(es))}
 	for _, e := range es {
