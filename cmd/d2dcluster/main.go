@@ -1,0 +1,348 @@
+// Command d2dcluster launches an N-shard presence cluster on one box: N
+// relaynet servers, each with its own telemetry/health/handoff control
+// plane on an ephemeral HTTP port, fronted by the cluster router serving
+// the epoch-versioned config that relays, UEs and d2dload route by.
+//
+// Usage:
+//
+//	d2dcluster [-shards 3] [-router 127.0.0.1:7700] [-vnodes 0]
+//	           [-health 250ms] [-failures 3] [-settle 0]
+//
+// The -router listener serves the router's /cluster/* control plane
+// (config, drain, evict, join), its /metrics[.json] registry, and the
+// launcher's admin surface:
+//
+//	GET  /admin/status               JSON: epoch plus per-shard liveness
+//	POST /admin/drain?id=shard-1     graceful drain (handoff), then stop
+//	POST /admin/kill?id=shard-1      hard-kill the shard, crash-style
+//	POST /admin/restart?id=shard-1   fresh instance (new ports) rejoins
+//
+// Shard hbproto/HTTP ports are ephemeral: every routing party discovers
+// them through /cluster/config, so nothing needs pre-assigned ports. On
+// SIGINT/SIGTERM the launcher drains every shard that still has a
+// successor before exiting; a second signal exits immediately.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"syscall"
+	"time"
+
+	"d2dhb/internal/cluster"
+	"d2dhb/internal/relaynet"
+	"d2dhb/internal/telemetry"
+)
+
+func main() {
+	var (
+		shards   = flag.Int("shards", 3, "presence shard count")
+		router   = flag.String("router", "127.0.0.1:7700", "router + admin listen address")
+		vnodes   = flag.Int("vnodes", 0, "ring virtual nodes per shard (0 = default)")
+		health   = flag.Duration("health", 250*time.Millisecond, "shard liveness probe interval (<0 disables)")
+		failures = flag.Int("failures", 3, "consecutive probe failures before eviction")
+		settle   = flag.Duration("settle", 0, "drain settle delay before handoff (0 = auto)")
+	)
+	flag.Parse()
+	if err := run(*shards, *router, *vnodes, *health, *failures, *settle); err != nil {
+		fmt.Fprintln(os.Stderr, "d2dcluster:", err)
+		os.Exit(1)
+	}
+}
+
+// shardProc is one in-process presence shard: server, metrics registry,
+// readiness flag and the HTTP control plane a real deployment would run
+// per process.
+type shardProc struct {
+	id     string
+	srv    *relaynet.Server
+	health *telemetry.Health
+	web    *telemetry.Server
+	node   cluster.Node
+	dead   bool
+}
+
+// teardown closes the shard's listeners; callers mark it dead (under the
+// launcher lock) first.
+func (sp *shardProc) teardown() {
+	sp.srv.Shutdown()
+	sp.web.Close()
+}
+
+// launcher owns the shard set and the router, and serves the admin
+// surface that scripts (and the CI smoke job) drive reshards through.
+type launcher struct {
+	vnodes int
+
+	mu     sync.Mutex
+	router *cluster.Router
+	client *cluster.Client
+	shards map[string]*shardProc
+}
+
+// startShard boots one shard: hbproto listener, telemetry registry,
+// health flag and the /cluster/* handoff agent, all on ephemeral ports.
+func (l *launcher) startShard(id string) (*shardProc, error) {
+	srv := relaynet.NewServer()
+	reg := telemetry.NewRegistry()
+	srv.SetTelemetry(reg)
+	if l.client != nil {
+		srv.SetCluster(id, l.client)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return nil, fmt.Errorf("shard %s: %w", id, err)
+	}
+	health := telemetry.NewHealth()
+	web, err := telemetry.Serve("127.0.0.1:0", reg,
+		telemetry.WithHealth(health),
+		telemetry.WithHandler("/cluster/", cluster.NewNodeAgent(srv, health).Handler()))
+	if err != nil {
+		srv.Shutdown()
+		return nil, fmt.Errorf("shard %s: %w", id, err)
+	}
+	sp := &shardProc{
+		id: id, srv: srv, health: health, web: web,
+		node: cluster.Node{ID: id, Addr: srv.Addr(), HTTP: "http://" + web.Addr()},
+	}
+	return sp, nil
+}
+
+func run(n int, routerAddr string, vnodes int, health time.Duration, failures int, settle time.Duration) error {
+	if n < 1 {
+		return fmt.Errorf("need at least one shard, got %d", n)
+	}
+	l := &launcher{vnodes: vnodes, shards: make(map[string]*shardProc, n)}
+
+	nodes := make([]cluster.Node, 0, n)
+	for i := 0; i < n; i++ {
+		sp, err := l.startShard(fmt.Sprintf("shard-%d", i))
+		if err != nil {
+			return err
+		}
+		l.shards[sp.id] = sp
+		nodes = append(nodes, sp.node)
+	}
+
+	routerReg := telemetry.NewRegistry()
+	router, err := cluster.NewRouter(cluster.RouterConfig{
+		Initial:        cluster.Config{Epoch: 1, Nodes: nodes},
+		VirtualNodes:   vnodes,
+		HealthInterval: health,
+		HealthFailures: failures,
+		SettleDelay:    settle,
+		Telemetry:      routerReg,
+	})
+	if err != nil {
+		return err
+	}
+	defer router.Close()
+	l.router = router
+
+	mux := http.NewServeMux()
+	mux.Handle("/cluster/", router.Handler())
+	mux.Handle("/metrics", telemetry.Handler(routerReg))
+	mux.Handle("/metrics.json", telemetry.Handler(routerReg))
+	l.adminHandlers(mux)
+	// Bind synchronously: the misroute client below fetches the config
+	// from this very listener, so it must be accepting before we proceed.
+	ln, err := net.Listen("tcp", routerAddr)
+	if err != nil {
+		return fmt.Errorf("router listen: %w", err)
+	}
+	web := &http.Server{Handler: mux}
+	webErr := make(chan error, 1)
+	go func() { webErr <- web.Serve(ln) }()
+	defer func() { _ = web.Close() }()
+
+	// The shards' misroute audit routes through the same config the data
+	// plane sees; the client polls the router like any other party.
+	client, err := cluster.NewClient(cluster.ClientConfig{
+		RouterURL:    "http://" + routerAddr,
+		VirtualNodes: vnodes,
+	})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	l.mu.Lock()
+	l.client = client
+	for _, sp := range l.shards {
+		sp.srv.SetCluster(sp.id, client)
+	}
+	l.mu.Unlock()
+
+	fmt.Printf("d2dcluster: %d shards up, router on http://%s\n", n, routerAddr)
+	for _, node := range nodes {
+		fmt.Printf("  %s  hb=%s  http=%s\n", node.ID, node.Addr, node.HTTP)
+	}
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-webErr:
+		return fmt.Errorf("router listener: %w", err)
+	case <-sig:
+	}
+
+	// Graceful exit: drain every shard that still has a successor so the
+	// presence state lands somewhere before the process goes away.
+	fmt.Println("d2dcluster: draining shards")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		l.drainAll()
+	}()
+	select {
+	case <-done:
+	case <-sig:
+		fmt.Println("d2dcluster: second signal, exiting now")
+	}
+	l.mu.Lock()
+	rest := make([]*shardProc, 0, len(l.shards))
+	for _, sp := range l.shards {
+		rest = append(rest, sp)
+	}
+	l.mu.Unlock()
+	for _, sp := range rest {
+		l.stopShard(sp)
+	}
+	return nil
+}
+
+// stopShard marks the shard dead under the launcher lock, then tears it
+// down outside it: Shutdown blocks on connection teardown, and a stalled
+// peer must not stall every admin request contending for the lock.
+func (l *launcher) stopShard(sp *shardProc) {
+	l.mu.Lock()
+	already := sp.dead
+	sp.dead = true
+	l.mu.Unlock()
+	if !already {
+		sp.teardown()
+	}
+}
+
+// drainAll gracefully drains shards one at a time while a successor
+// remains to receive the handoff.
+func (l *launcher) drainAll() {
+	for {
+		l.mu.Lock()
+		var next *shardProc
+		for _, sp := range l.shards {
+			if !sp.dead {
+				next = sp
+				break
+			}
+		}
+		l.mu.Unlock()
+		if next == nil {
+			return
+		}
+		if len(l.router.Config().Nodes) <= 1 {
+			return // last shard has nowhere to hand its state
+		}
+		if err := l.router.Drain(next.id); err != nil {
+			fmt.Fprintf(os.Stderr, "d2dcluster: drain %s: %v\n", next.id, err)
+			return
+		}
+		l.stopShard(next)
+	}
+}
+
+// shardStatus is one row of /admin/status.
+type shardStatus struct {
+	ID     string `json:"id"`
+	Addr   string `json:"addr,omitempty"`
+	HTTP   string `json:"http,omitempty"`
+	Alive  bool   `json:"alive"`
+	Ready  bool   `json:"ready"`
+	InRing bool   `json:"inRing"`
+}
+
+func (l *launcher) adminHandlers(mux *http.ServeMux) {
+	mux.HandleFunc("/admin/status", func(w http.ResponseWriter, _ *http.Request) {
+		cfg := l.router.Config()
+		inRing := make(map[string]bool, len(cfg.Nodes))
+		for _, n := range cfg.Nodes {
+			inRing[n.ID] = true
+		}
+		l.mu.Lock()
+		rows := make([]shardStatus, 0, len(l.shards))
+		for _, sp := range l.shards {
+			rows = append(rows, shardStatus{
+				ID: sp.id, Addr: sp.node.Addr, HTTP: sp.node.HTTP,
+				Alive: !sp.dead, Ready: sp.health.Ready(), InRing: inRing[sp.id],
+			})
+		}
+		l.mu.Unlock()
+		sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Epoch  uint64        `json:"epoch"`
+			Shards []shardStatus `json:"shards"`
+		}{cfg.Epoch, rows})
+	})
+	mux.HandleFunc("/admin/drain", func(w http.ResponseWriter, r *http.Request) {
+		l.shardOp(w, r, func(sp *shardProc) error {
+			if err := l.router.Drain(sp.id); err != nil {
+				return err
+			}
+			l.stopShard(sp)
+			return nil
+		})
+	})
+	mux.HandleFunc("/admin/kill", func(w http.ResponseWriter, r *http.Request) {
+		l.shardOp(w, r, func(sp *shardProc) error {
+			l.stopShard(sp)
+			return nil
+		})
+	})
+	mux.HandleFunc("/admin/restart", func(w http.ResponseWriter, r *http.Request) {
+		l.shardOp(w, r, func(sp *shardProc) error {
+			if !sp.dead {
+				return fmt.Errorf("shard %s is still running", sp.id)
+			}
+			fresh, err := l.startShard(sp.id)
+			if err != nil {
+				return err
+			}
+			if err := l.router.Join(fresh.node); err != nil {
+				fresh.dead = true
+				fresh.teardown()
+				return err
+			}
+			l.mu.Lock()
+			l.shards[sp.id] = fresh
+			l.mu.Unlock()
+			return nil
+		})
+	})
+}
+
+// shardOp resolves the id query parameter and runs one admin operation.
+func (l *launcher) shardOp(w http.ResponseWriter, r *http.Request, op func(*shardProc) error) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	id := r.URL.Query().Get("id")
+	l.mu.Lock()
+	sp := l.shards[id]
+	l.mu.Unlock()
+	if sp == nil {
+		http.Error(w, fmt.Sprintf("unknown shard %q", id), http.StatusNotFound)
+		return
+	}
+	if err := op(sp); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

@@ -8,7 +8,7 @@
 //	d2dload [-ues 1000] [-relays 2] [-relay-ratio 0.25] [-apps wechat:2,qq:1]
 //	        [-duration 10s] [-speedup 100] [-arrival steady|ramp|spike]
 //	        [-window 0] [-report 5s] [-timeout 0] [-capacity 0]
-//	        [-server host:port] [-json path] [-fault spec]
+//	        [-server host:port] [-cluster url] [-trunks 0] [-json path] [-fault spec]
 //	        [-telemetry host:port] [-metrics host:port]
 //
 // -telemetry serves the run's own live metrics (fleet counters, latency
@@ -56,6 +56,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "ack timeout before a heartbeat counts lost (0 = auto)")
 		capacity   = flag.Int("capacity", 0, "relay per-period collection capacity M (0 = auto)")
 		server     = flag.String("server", "", "external presence server address (default: in-process)")
+		clusterA   = flag.String("cluster", "", "presence cluster router URL or host:port (see d2dcluster; excludes -server)")
+		trunks     = flag.Int("trunks", 0, "multiplex the fleet over this many relay-trunk connections (excludes -relays)")
 		jsonPath   = flag.String("json", "", "write the final JSON report to this file instead of stdout")
 		fault      = flag.String("fault", "", "fault-injection spec, e.g. seed=42,latency=5ms,corrupt=0.01,partition=3s+1s")
 		telemAddr  = flag.String("telemetry", "", "serve the run's own /metrics, /metrics.json and pprof on this address")
@@ -63,8 +65,8 @@ func main() {
 	)
 	flag.Parse()
 	if err := run(*ues, *relays, *relayRatio, *apps, *duration, *speedup,
-		*arrival, *window, *report, *timeout, *capacity, *server, *jsonPath, *fault,
-		*telemAddr, *metrics); err != nil {
+		*arrival, *window, *report, *timeout, *capacity, *server, *clusterA, *trunks,
+		*jsonPath, *fault, *telemAddr, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "d2dload:", err)
 		os.Exit(1)
 	}
@@ -72,7 +74,8 @@ func main() {
 
 func run(ues, relays int, relayRatio float64, apps string, duration time.Duration,
 	speedup float64, arrival string, window, report, timeout time.Duration,
-	capacity int, server, jsonPath, fault, telemAddr, metricsAddr string) error {
+	capacity int, server, clusterAddr string, trunks int,
+	jsonPath, fault, telemAddr, metricsAddr string) error {
 	raiseFDLimit()
 	shape, err := loadgen.ParseArrivalShape(arrival)
 	if err != nil {
@@ -98,6 +101,8 @@ func run(ues, relays int, relayRatio float64, apps string, duration time.Duratio
 		RelayCapacity: capacity,
 		ReportEvery:   report,
 		ServerAddr:    server,
+		ClusterAddr:   clusterAddr,
+		Trunks:        trunks,
 		Faults:        faults,
 		MetricsAddr:   metricsAddr,
 	}
@@ -124,6 +129,12 @@ func run(ues, relays int, relayRatio float64, apps string, duration time.Duratio
 	}
 	fmt.Printf("d2dload: %d UEs (%d relays, ratio %.2f), %s arrival, %v at %gx speedup\n",
 		ues, relays, relayRatio, shape, duration, speedup)
+	if trunks > 0 {
+		fmt.Printf("d2dload: trunked fleet, %d trunks\n", trunks)
+	}
+	if clusterAddr != "" {
+		fmt.Printf("d2dload: cluster target %s\n", clusterAddr)
+	}
 	rep, err := r.Run()
 	if err != nil {
 		return err

@@ -82,7 +82,11 @@ func (c *Config) For(name string) AnalyzerConfig {
 //   - rawrand, lockheld, closecheck and tracekey cover the whole module.
 //   - lockheld additionally treats the hbproto frame codec as blocking:
 //     WriteFrame/ReadFrame perform connection IO, so calling them with a
-//     mutex held stalls every other goroutine contending for it.
+//     mutex held stalls every other goroutine contending for it. The
+//     cluster control plane's HTTP methods (config refresh, drain
+//     handoff, membership ops) and the loadgen metric scrapers get the
+//     same treatment: holding a lock across one of them stalls every
+//     routing party contending for that lock through a reshard.
 func DefaultConfig(module string) *Config {
 	ip := func(s string) string { return module + "/" + s }
 	simPackages := []string{
@@ -112,6 +116,12 @@ func DefaultConfig(module string) *Config {
 			"lockheld": {ExtraBlocking: []string{
 				ip("internal/hbproto") + ".WriteFrame",
 				ip("internal/hbproto") + ".ReadFrame",
+				ip("internal/cluster") + ".Client.Refresh",
+				ip("internal/cluster") + ".Router.Drain",
+				ip("internal/cluster") + ".Router.Evict",
+				ip("internal/cluster") + ".Router.Join",
+				ip("internal/loadgen") + ".ScrapeDump",
+				ip("internal/loadgen") + ".ScrapeDumpURL",
 			}},
 		},
 	}

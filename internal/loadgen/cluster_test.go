@@ -1,0 +1,210 @@
+package loadgen
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"d2dhb/internal/cluster"
+	"d2dhb/internal/hbmsg"
+	"d2dhb/internal/relaynet"
+	"d2dhb/internal/telemetry"
+)
+
+// testShard is one presence shard with a full control plane (telemetry,
+// health, node agent) as the launcher would run it.
+type testShard struct {
+	srv    *relaynet.Server
+	health *telemetry.Health
+	web    *httptest.Server
+	node   cluster.Node
+	dead   bool
+}
+
+func (sh *testShard) kill() {
+	if sh.dead {
+		return
+	}
+	sh.dead = true
+	sh.srv.Shutdown()
+	sh.web.Close()
+}
+
+func startTestShard(t *testing.T, id string) *testShard {
+	t.Helper()
+	srv := relaynet.NewServer()
+	reg := telemetry.NewRegistry()
+	srv.SetTelemetry(reg)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("shard %s start: %v", id, err)
+	}
+	health := telemetry.NewHealth()
+	mux := http.NewServeMux()
+	telemetry.WithHealth(health)(mux)
+	telemetry.WithHandler("/cluster/", cluster.NewNodeAgent(srv, health).Handler())(mux)
+	mux.Handle("/", telemetry.Handler(reg))
+	web := httptest.NewServer(mux)
+	sh := &testShard{
+		srv: srv, health: health, web: web,
+		node: cluster.Node{ID: id, Addr: srv.Addr(), HTTP: web.URL},
+	}
+	t.Cleanup(sh.kill)
+	return sh
+}
+
+// startTestCluster spins n shards plus a router and returns the router's
+// base URL alongside the shard handles.
+func startTestCluster(t *testing.T, n int) (string, *cluster.Router, []*testShard) {
+	t.Helper()
+	shards := make([]*testShard, n)
+	nodes := make([]cluster.Node, n)
+	for i := range shards {
+		shards[i] = startTestShard(t, "shard-"+string(rune('0'+i)))
+		nodes[i] = shards[i].node
+	}
+	router, err := cluster.NewRouter(cluster.RouterConfig{
+		Initial:        cluster.Config{Epoch: 1, Nodes: nodes},
+		HealthInterval: 50 * time.Millisecond,
+		HealthFailures: 2,
+		SettleDelay:    100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	t.Cleanup(router.Close)
+	rweb := httptest.NewServer(router.Handler())
+	t.Cleanup(rweb.Close)
+	return rweb.URL, router, shards
+}
+
+// TestClusterFleetRun drives a socket-per-UE fleet (half relayed, half
+// direct) against a 3-shard cluster: direct UEs resolve their owning shard
+// through the ring, relays fan batches per shard, and the report embeds
+// each shard's metrics scrape.
+func TestClusterFleetRun(t *testing.T) {
+	routerURL, _, shards := startTestCluster(t, 3)
+	r, err := New(Config{
+		UEs:         24,
+		Relays:      2,
+		RelayRatio:  0.5,
+		Profiles:    []hbmsg.AppProfile{fastProfile(80 * time.Millisecond)},
+		Duration:    time.Second,
+		ClusterAddr: routerURL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent == 0 || rep.Acked == 0 {
+		t.Fatalf("no traffic: sent=%d acked=%d", rep.Sent, rep.Acked)
+	}
+	if rep.Timeouts != 0 {
+		t.Errorf("lost heartbeats in a healthy cluster: %d timeouts", rep.Timeouts)
+	}
+	if rep.ClusterEpoch != 1 {
+		t.Errorf("cluster epoch = %d, want 1", rep.ClusterEpoch)
+	}
+	if len(rep.ShardMetrics) != 3 {
+		t.Errorf("scraped %d shard metric dumps, want 3", len(rep.ShardMetrics))
+	}
+	served := 0
+	for _, sh := range shards {
+		st := sh.srv.Stats()
+		if st.HeartbeatsDirect+st.HeartbeatsRelayed > 0 {
+			served++
+		}
+		if st.Misrouted > 0 {
+			t.Errorf("shard %s saw %d misrouted frames in a stable ring", sh.node.ID, st.Misrouted)
+		}
+	}
+	if served < 2 {
+		t.Errorf("only %d shards served traffic; ring is not spreading the fleet", served)
+	}
+	if rep.ShardTable() == nil {
+		t.Error("cluster run rendered no shard table")
+	}
+}
+
+// TestTrunkFleetSingleServer multiplexes a 200-user fleet over 4 trunk
+// connections against one in-process server: the batch path must carry and
+// acknowledge every user without per-UE sockets.
+func TestTrunkFleetSingleServer(t *testing.T) {
+	r, err := New(Config{
+		UEs:      200,
+		Trunks:   4,
+		Profiles: []hbmsg.AppProfile{fastProfile(100 * time.Millisecond)},
+		Duration: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trunks != 4 {
+		t.Errorf("report trunks = %d, want 4", rep.Trunks)
+	}
+	if rep.SentRelayed == 0 || rep.AckedRelayed == 0 {
+		t.Fatalf("trunk fleet moved no traffic: %+v", rep)
+	}
+	if rep.Timeouts != 0 {
+		t.Errorf("trunk fleet lost heartbeats against a healthy server: %d", rep.Timeouts)
+	}
+	if rep.Server == nil || rep.Server.Batches == 0 {
+		t.Error("server saw no batches from the trunked fleet")
+	}
+	if rep.Server != nil && rep.Server.Connections > 8 {
+		t.Errorf("trunked fleet opened %d conns, want a handful", rep.Server.Connections)
+	}
+}
+
+// TestTrunkClusterShardKill is the loss-under-reshard invariant at the
+// loadgen level: a trunked fleet spread over 3 shards keeps zero timeouts
+// when one shard is hard-killed mid-run — in-flight heartbeats to the dead
+// shard are re-sent through the post-eviction ring by the fallback sweep.
+func TestTrunkClusterShardKill(t *testing.T) {
+	routerURL, router, shards := startTestCluster(t, 3)
+	r, err := New(Config{
+		UEs:         60,
+		Trunks:      3,
+		Profiles:    []hbmsg.AppProfile{fastProfile(100 * time.Millisecond)},
+		Duration:    1500 * time.Millisecond,
+		AckTimeout:  400 * time.Millisecond,
+		ClusterAddr: routerURL,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(500 * time.Millisecond)
+		shards[2].kill()
+	}()
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-killed
+	if _, ok := router.Config().Node(shards[2].node.ID); ok {
+		t.Error("killed shard still in the cluster config")
+	}
+	if rep.SentRelayed == 0 || rep.AckedRelayed == 0 {
+		t.Fatalf("trunk fleet moved no traffic: %+v", rep)
+	}
+	if rep.Timeouts != 0 {
+		t.Errorf("shard kill lost %d heartbeats (fallback=%d dialErrs=%d writeErrs=%d)",
+			rep.Timeouts, rep.FallbackResends, rep.DialErrors, rep.WriteErrors)
+	}
+	if len(rep.ShardSent) != 3 {
+		t.Errorf("fleet addressed %d shards, want all 3 before the kill", len(rep.ShardSent))
+	}
+	if rep.ClusterEpoch < 2 {
+		t.Errorf("cluster epoch = %d after eviction, want >= 2", rep.ClusterEpoch)
+	}
+}

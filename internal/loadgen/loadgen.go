@@ -3,10 +3,12 @@ package loadgen
 import (
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"d2dhb/internal/cluster"
 	"d2dhb/internal/faultnet"
 	"d2dhb/internal/hbmsg"
 	"d2dhb/internal/hbproto"
@@ -49,6 +51,21 @@ type Config struct {
 	// in-process relaynet.Server on loopback, whose stats land in the
 	// report.
 	ServerAddr string
+	// ClusterAddr targets a presence cluster through its router (base URL
+	// or host:port). Direct UEs then resolve their owning shard through
+	// the consistent-hash ring on every dial, relays fan each batch out
+	// per shard, relayed UEs fall back to their owner on ack timeout, and
+	// reports embed a per-shard metrics scrape. Mutually exclusive with
+	// ServerAddr.
+	ClusterAddr string
+	// Trunks switches the fleet to trunked virtual relays: instead of one
+	// socket per UE, the fleet is multiplexed UEs/Trunks-per-connection
+	// over this many relay trunks speaking hbproto batches — the paper's
+	// aggregation argument applied to the load generator itself, and the
+	// only way one box offers a million users (per-UE sockets exhaust
+	// ephemeral ports around a few tens of thousands per destination).
+	// Requires Relays == 0.
+	Trunks int
 	// Tracer is attached to the spawned server and relays when non-nil.
 	Tracer trace.Tracer
 	// HistShards sets the latency histogram shard count. Zero selects 8.
@@ -80,6 +97,15 @@ func (c Config) validate() error {
 	if c.RelayRatio < 0 || c.RelayRatio > 1 {
 		return fmt.Errorf("loadgen: relay ratio must be in [0,1], got %v", c.RelayRatio)
 	}
+	if c.Trunks < 0 {
+		return fmt.Errorf("loadgen: negative trunk count %d", c.Trunks)
+	}
+	if c.Trunks > 0 && c.Relays > 0 {
+		return fmt.Errorf("loadgen: trunks and relays are mutually exclusive (%d/%d)", c.Trunks, c.Relays)
+	}
+	if c.ClusterAddr != "" && c.ServerAddr != "" {
+		return fmt.Errorf("loadgen: cluster and server targets are mutually exclusive")
+	}
 	if c.Speedup < 0 {
 		return fmt.Errorf("loadgen: negative speedup %v", c.Speedup)
 	}
@@ -103,6 +129,51 @@ type fleetCounters struct {
 	timeoutDirect, timeoutRelayed atomic.Uint64
 	dialErrors, writeErrors       atomic.Uint64
 	outOfOrderAcks                atomic.Uint64
+	// fallbackResends counts relayed heartbeats re-sent directly to their
+	// owning shard after the relay path failed to confirm them in time
+	// (cluster mode only).
+	fallbackResends atomic.Uint64
+}
+
+// loadUnit is one independently scheduled slice of the fleet: a single
+// virtual UE, or a trunk multiplexing many of them over one connection.
+type loadUnit interface {
+	run(done <-chan struct{}, offset time.Duration, sendWg *sync.WaitGroup)
+	sweep(now time.Time)
+	pendingCount() int
+	expireAll()
+	close()
+}
+
+// shardCounter tallies sends per target shard in cluster mode.
+type shardCounter struct {
+	mu sync.Mutex
+	m  map[string]uint64
+}
+
+func (s *shardCounter) add(shard string, n uint64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[string]uint64)
+	}
+	s.m[shard] += n
+	s.mu.Unlock()
+}
+
+func (s *shardCounter) snapshot() map[string]uint64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.m))
+	for k, v := range s.m {
+		out[k] = v
+	}
+	return out
 }
 
 // Runner drives one configured load-generation run.
@@ -110,11 +181,14 @@ type Runner struct {
 	cfg        Config
 	server     *relaynet.Server // nil when targeting an external server
 	serverAddr string
+	cluster    *cluster.Client // non-nil in cluster mode
 	relays     []*relaynet.RelayAgent
-	ues        []*vue
+	units      []loadUnit
 	counters   fleetCounters
+	shardSent  shardCounter
 	histDirect *Histogram
 	histRelay  *Histogram
+	readers    sync.WaitGroup
 
 	ackTimeout time.Duration
 	minPeriod  time.Duration
@@ -199,10 +273,31 @@ func (r *Runner) periodRange() (min, max time.Duration) {
 	return min, max
 }
 
+// clusterURL normalizes a router target to a base URL.
+func clusterURL(addr string) string {
+	if strings.HasPrefix(addr, "http://") || strings.HasPrefix(addr, "https://") {
+		return addr
+	}
+	return "http://" + addr
+}
+
 // Run executes the configured scenario: spawn server/relays/fleet, offer
 // load for Duration, drain in-flight heartbeats, tear everything down and
 // return the final report.
 func (r *Runner) Run() (Report, error) {
+	if r.cfg.ClusterAddr != "" {
+		// Constructing the client performs the initial config fetch, so an
+		// unreachable router aborts the run up front.
+		cl, err := cluster.NewClient(cluster.ClientConfig{
+			RouterURL: clusterURL(r.cfg.ClusterAddr),
+			Telemetry: r.cfg.Telemetry,
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		r.cluster = cl
+		defer cl.Close()
+	}
 	if err := r.startServer(); err != nil {
 		return Report{}, err
 	}
@@ -223,13 +318,13 @@ func (r *Runner) Run() (Report, error) {
 	r.buildFleet()
 
 	genDone := make(chan struct{})
-	var sendWg, readWg sync.WaitGroup
+	var sendWg sync.WaitGroup
 	start := time.Now()
 	window := r.arrivalWindow()
 	sched := Schedule{Shape: r.cfg.Arrival.Shape, Window: window}
-	for i, u := range r.ues {
+	for i, u := range r.units {
 		sendWg.Add(1)
-		go u.run(genDone, sched.StartOffset(i, len(r.ues)), &sendWg, &readWg)
+		go u.run(genDone, sched.StartOffset(i, len(r.units)), &sendWg)
 	}
 
 	stopReports := make(chan struct{})
@@ -259,10 +354,10 @@ func (r *Runner) Run() (Report, error) {
 	repWg.Wait()
 
 	r.drain()
-	for _, u := range r.ues {
+	for _, u := range r.units {
 		u.close()
 	}
-	readWg.Wait()
+	r.readers.Wait()
 
 	rep := r.snapshot(genElapsed, true)
 	return rep, nil
@@ -271,6 +366,12 @@ func (r *Runner) Run() (Report, error) {
 // startServer spawns the in-process presence server unless an external
 // address was configured.
 func (r *Runner) startServer() error {
+	if r.cluster != nil {
+		// Cluster mode has no single server: targets resolve through the
+		// ring per key. The client's initial fetch already proved the
+		// router reachable and the config routable.
+		return nil
+	}
 	if r.cfg.ServerAddr != "" {
 		// Probe the external server before spinning up the fleet: an
 		// unreachable target should abort the run with an error, not burn
@@ -322,6 +423,7 @@ func (r *Runner) startRelays() error {
 			Capacity:  capacity,
 			Tracer:    r.cfg.Tracer,
 			Dial:      dial,
+			Cluster:   r.cluster,
 			Telemetry: r.cfg.Telemetry,
 		})
 		if err != nil {
@@ -335,11 +437,29 @@ func (r *Runner) startRelays() error {
 	return nil
 }
 
-// buildFleet constructs every virtual UE: the first relayedUEs forward
-// through relays (round-robin), the rest go direct; profiles rotate across
-// the whole fleet.
+// ownerAddr returns a resolver mapping a client ID to its owning shard's
+// hbproto address under the cluster's current ring epoch.
+func (r *Runner) ownerAddr(id string) func() string {
+	return func() string {
+		node, ok := r.cluster.View().Owner(id)
+		if !ok {
+			return ""
+		}
+		return node.Addr
+	}
+}
+
+// buildFleet constructs the load units. Trunk mode multiplexes the whole
+// fleet over Trunks virtual-relay connections; otherwise every UE is one
+// socket-holding vue — the first relayedUEs forward through relays
+// (round-robin), the rest go direct. Profiles rotate across the fleet (per
+// trunk in trunk mode, since a trunk shares one schedule).
 func (r *Runner) buildFleet() {
-	r.ues = make([]*vue, 0, r.cfg.UEs)
+	if r.cfg.Trunks > 0 {
+		r.buildTrunks()
+		return
+	}
+	r.units = make([]loadUnit, 0, r.cfg.UEs)
 	for i := 0; i < r.cfg.UEs; i++ {
 		p := r.cfg.Profiles[i%len(r.cfg.Profiles)]
 		relayed := i < r.relayedUEs && len(r.relays) > 0
@@ -354,6 +474,7 @@ func (r *Runner) buildFleet() {
 			c:       &r.counters,
 			pending: make(map[uint64]int64),
 			dial:    net.Dial,
+			readers: &r.readers,
 		}
 		if r.cfg.Faults != nil {
 			u.dial = r.cfg.Faults.Dial
@@ -361,11 +482,73 @@ func (r *Runner) buildFleet() {
 		if relayed {
 			u.addr = r.relays[i%len(r.relays)].Addr()
 			u.rec = r.histRelay.Recorder()
+			if r.cluster != nil {
+				// Relayed UEs in a cluster fall back to their owning
+				// shard when the relay path misses the ack window —
+				// the load-fleet analog of the UEClient fallback that
+				// keeps reshards lossless.
+				u.resolve = r.ownerAddr(u.id)
+				u.fellBack = make(map[uint64]bool)
+			}
 		} else {
 			u.addr = r.serverAddr
 			u.rec = r.histDirect.Recorder()
+			if r.cluster != nil {
+				u.resolve = r.ownerAddr(u.id)
+			}
 		}
-		r.ues = append(r.ues, u)
+		r.units = append(r.units, u)
+	}
+}
+
+// buildTrunks splits the fleet across cfg.Trunks trunks; profiles rotate
+// per trunk, since a trunk's users share one schedule.
+func (r *Runner) buildTrunks() {
+	n := r.cfg.Trunks
+	r.units = make([]loadUnit, 0, n)
+	base, rem := r.cfg.UEs/n, r.cfg.UEs%n
+	next := 0
+	for ti := 0; ti < n; ti++ {
+		count := base
+		if ti < rem {
+			count++
+		}
+		if count == 0 {
+			continue
+		}
+		p := r.cfg.Profiles[ti%len(r.cfg.Profiles)]
+		t := &trunk{
+			id:      fmt.Sprintf("loadtrunk-%04d", ti),
+			app:     p.Name,
+			addr:    r.serverAddr,
+			period:  r.scale(p.Period),
+			expiry:  r.scale(p.Expiry()),
+			pad:     p.Size,
+			timeout: r.ackTimeout,
+			rec:     r.histRelay.Recorder(),
+			c:       &r.counters,
+			dial:    net.Dial,
+			cluster: r.cluster,
+			shards:  &r.shardSent,
+			readers: &r.readers,
+			users:   make([]tuser, count),
+			index:   make(map[string]int, count),
+			pending: make(map[hbref]int64),
+			conns:   make(map[string]net.Conn),
+		}
+		if r.cluster != nil {
+			t.fellBack = make(map[hbref]bool)
+		}
+		if r.cfg.Faults != nil {
+			t.dial = r.cfg.Faults.Dial
+		}
+		for i := 0; i < count; i++ {
+			id := fmt.Sprintf("loadue-%07d", next)
+			next++
+			t.users[i] = tuser{id: id}
+			t.index[id] = i
+		}
+		r.units = append(r.units, t)
 	}
 }
 
@@ -382,12 +565,17 @@ func (r *Runner) arrivalWindow() time.Duration {
 }
 
 // drain waits for in-flight heartbeats to be acknowledged, then writes off
-// whatever is left as timeouts.
+// whatever is left as timeouts. Sweeping inside the wait matters in cluster
+// mode: a pending heartbeat whose relay path died mid-reshard only gets its
+// direct fallback resend from the sweep, so a drain that merely polled
+// counts would sit out the timeout and report the heartbeat lost.
 func (r *Runner) drain() {
 	deadline := time.Now().Add(r.ackTimeout + 500*time.Millisecond)
 	for time.Now().Before(deadline) {
+		now := time.Now()
 		pending := 0
-		for _, u := range r.ues {
+		for _, u := range r.units {
+			u.sweep(now)
 			pending += u.pendingCount()
 		}
 		if pending == 0 {
@@ -395,7 +583,7 @@ func (r *Runner) drain() {
 		}
 		time.Sleep(20 * time.Millisecond)
 	}
-	for _, u := range r.ues {
+	for _, u := range r.units {
 		u.expireAll()
 	}
 }
@@ -415,19 +603,27 @@ type vue struct {
 	rec     *Recorder
 	c       *fleetCounters
 	dial    func(network, addr string) (net.Conn, error)
+	readers *sync.WaitGroup
+	// resolve maps this UE to its owning shard's hbproto address in cluster
+	// mode: the primary target for direct UEs (re-resolved on every dial, so
+	// reshards redirect the next connection), the fallback target for
+	// relayed ones.
+	resolve func() string
 
-	mu      sync.Mutex
-	conn    net.Conn
-	pending map[uint64]int64 // seq → send time (UnixNano)
-	seq     uint64
-	last    uint64 // highest acknowledged seq
-	closed  bool
+	mu       sync.Mutex
+	conn     net.Conn
+	dconn    net.Conn         // fallback conn to the owning shard (relayed cluster UEs)
+	pending  map[uint64]int64 // seq → send time (UnixNano)
+	fellBack map[uint64]bool  // seqs already re-sent on the fallback path; nil disables fallback
+	seq      uint64
+	last     uint64 // highest acknowledged seq
+	closed   bool
 }
 
 // run is the send loop: activate after the arrival offset, then heartbeat
-// every period until the run stops. Readers joined via readWg outlive the
-// send loop so the drain phase can still collect acks.
-func (u *vue) run(done <-chan struct{}, offset time.Duration, sendWg, readWg *sync.WaitGroup) {
+// every period until the run stops. Readers joined via u.readers outlive
+// the send loop so the drain phase can still collect acks.
+func (u *vue) run(done <-chan struct{}, offset time.Duration, sendWg *sync.WaitGroup) {
 	defer sendWg.Done()
 	if offset > 0 {
 		select {
@@ -438,22 +634,22 @@ func (u *vue) run(done <-chan struct{}, offset time.Duration, sendWg, readWg *sy
 	}
 	t := time.NewTicker(u.period)
 	defer t.Stop()
-	u.tick(readWg)
+	u.tick()
 	for {
 		select {
 		case <-done:
 			return
 		case <-t.C:
-			u.tick(readWg)
+			u.tick()
 		}
 	}
 }
 
 // tick is one heartbeat interval: expire stale pendings, (re)dial if
 // needed, send one heartbeat.
-func (u *vue) tick(readWg *sync.WaitGroup) {
+func (u *vue) tick() {
 	u.sweep(time.Now())
-	conn := u.ensureConn(readWg)
+	conn := u.ensureConn()
 	if conn == nil {
 		u.c.dialErrors.Add(1)
 		return
@@ -487,8 +683,9 @@ func (u *vue) tick(readWg *sync.WaitGroup) {
 }
 
 // ensureConn returns the live connection, dialing (and for relayed UEs
-// registering) when none exists.
-func (u *vue) ensureConn(readWg *sync.WaitGroup) net.Conn {
+// registering) when none exists. Direct cluster UEs re-resolve their owning
+// shard on every dial, so a reshard redirects the next connection.
+func (u *vue) ensureConn() net.Conn {
 	u.mu.Lock()
 	if u.closed {
 		u.mu.Unlock()
@@ -501,7 +698,13 @@ func (u *vue) ensureConn(readWg *sync.WaitGroup) net.Conn {
 	}
 	u.mu.Unlock()
 
-	conn, err := u.dial("tcp", u.addr)
+	addr := u.addr
+	if !u.relayed && u.resolve != nil {
+		if a := u.resolve(); a != "" {
+			addr = a
+		}
+	}
+	conn, err := u.dial("tcp", addr)
 	if err != nil {
 		return nil
 	}
@@ -523,21 +726,25 @@ func (u *vue) ensureConn(readWg *sync.WaitGroup) net.Conn {
 	}
 	u.conn = conn
 	u.mu.Unlock()
-	readWg.Add(1)
-	go u.reader(conn, readWg)
+	u.readers.Add(1)
+	go u.reader(conn)
 	return conn
 }
 
 // reader matches ack/feedback refs against pending sends and records
-// latency.
-func (u *vue) reader(conn net.Conn, readWg *sync.WaitGroup) {
-	defer readWg.Done()
+// latency. One reader serves both the primary and the fallback connection;
+// whichever path acknowledges first settles the pending entry.
+func (u *vue) reader(conn net.Conn) {
+	defer u.readers.Done()
 	for {
 		msg, err := hbproto.ReadFrame(conn)
 		if err != nil {
 			u.mu.Lock()
 			if u.conn == conn {
 				u.conn = nil
+			}
+			if u.dconn == conn {
+				u.dconn = nil
 			}
 			u.mu.Unlock()
 			return
@@ -562,6 +769,9 @@ func (u *vue) reader(conn net.Conn, readWg *sync.WaitGroup) {
 				continue
 			}
 			delete(u.pending, ref.Seq)
+			if u.fellBack != nil {
+				delete(u.fellBack, ref.Seq)
+			}
 			latUS := uint64(now-at) / 1000
 			u.rec.Record(latUS)
 			if u.relayed {
@@ -579,21 +789,103 @@ func (u *vue) reader(conn net.Conn, readWg *sync.WaitGroup) {
 	}
 }
 
-// sweep writes off pendings older than the ack timeout.
+// sweep writes off pendings older than the ack timeout. Relayed cluster
+// UEs get one more chance first: the heartbeat is re-sent directly to its
+// owning shard (resolved through the current ring epoch) with a fresh ack
+// window, and only a second miss counts as a timeout — mirroring the
+// UEClient feedback-timeout fallback that keeps reshards lossless.
 func (u *vue) sweep(now time.Time) {
 	cutoff := now.Add(-u.timeout).UnixNano()
+	var resend []uint64
 	u.mu.Lock()
 	for seq, at := range u.pending {
-		if at < cutoff {
-			delete(u.pending, seq)
-			if u.relayed {
-				u.c.timeoutRelayed.Add(1)
-			} else {
-				u.c.timeoutDirect.Add(1)
-			}
+		if at >= cutoff {
+			continue
+		}
+		if u.fellBack != nil && !u.fellBack[seq] {
+			u.fellBack[seq] = true
+			u.pending[seq] = now.UnixNano()
+			resend = append(resend, seq)
+			continue
+		}
+		delete(u.pending, seq)
+		if u.fellBack != nil {
+			delete(u.fellBack, seq)
+		}
+		if u.relayed {
+			u.c.timeoutRelayed.Add(1)
+		} else {
+			u.c.timeoutDirect.Add(1)
 		}
 	}
 	u.mu.Unlock()
+	for _, seq := range resend {
+		u.resendDirect(seq)
+	}
+}
+
+// resendDirect re-sends one timed-out relayed heartbeat straight to its
+// owning shard.
+func (u *vue) resendDirect(seq uint64) {
+	conn := u.ensureDconn()
+	if conn == nil {
+		u.c.dialErrors.Add(1)
+		return
+	}
+	hb := &hbproto.Heartbeat{
+		Src: u.id, Seq: seq, App: u.app,
+		Origin: time.Now(), Expiry: u.expiry, Pad: u.pad,
+	}
+	if err := hbproto.WriteFrame(conn, hb); err != nil {
+		u.c.writeErrors.Add(1)
+		u.mu.Lock()
+		if u.dconn == conn {
+			u.dconn = nil
+		}
+		u.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	u.c.fallbackResends.Add(1)
+}
+
+// ensureDconn returns the live fallback connection to the owning shard,
+// re-resolving through the ring and dialing when none exists.
+func (u *vue) ensureDconn() net.Conn {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return nil
+	}
+	if u.dconn != nil {
+		conn := u.dconn
+		u.mu.Unlock()
+		return conn
+	}
+	u.mu.Unlock()
+
+	var addr string
+	if u.resolve != nil {
+		addr = u.resolve()
+	}
+	if addr == "" {
+		return nil
+	}
+	conn, err := u.dial("tcp", addr)
+	if err != nil {
+		return nil
+	}
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		_ = conn.Close()
+		return nil
+	}
+	u.dconn = conn
+	u.mu.Unlock()
+	u.readers.Add(1)
+	go u.reader(conn)
+	return conn
 }
 
 // pendingCount returns how many sends still await acknowledgement.
@@ -608,6 +900,9 @@ func (u *vue) expireAll() {
 	u.mu.Lock()
 	for seq := range u.pending {
 		delete(u.pending, seq)
+		if u.fellBack != nil {
+			delete(u.fellBack, seq)
+		}
 		if u.relayed {
 			u.c.timeoutRelayed.Add(1)
 		} else {
@@ -617,14 +912,17 @@ func (u *vue) expireAll() {
 	u.mu.Unlock()
 }
 
-// close shuts the UE's connection down; readers exit on the closed conn.
+// close shuts the UE's connections down; readers exit on the closed conns.
 func (u *vue) close() {
 	u.mu.Lock()
 	u.closed = true
-	conn := u.conn
-	u.conn = nil
+	conn, dconn := u.conn, u.dconn
+	u.conn, u.dconn = nil, nil
 	u.mu.Unlock()
 	if conn != nil {
 		_ = conn.Close()
+	}
+	if dconn != nil {
+		_ = dconn.Close()
 	}
 }

@@ -3,6 +3,7 @@ package loadgen
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -70,6 +71,14 @@ type Report struct {
 	DialErrors      uint64 `json:"dialErrors"`
 	WriteErrors     uint64 `json:"writeErrors"`
 	OutOfOrderAcks  uint64 `json:"outOfOrderAcks"`
+	// FallbackResends counts relayed heartbeats re-sent directly to their
+	// owning shard after the relay path missed the ack window (cluster
+	// mode). A resend that gets acked keeps the heartbeat out of Timeouts.
+	FallbackResends uint64 `json:"fallbackResends,omitempty"`
+
+	// Trunks is the trunked-fleet size (Config.Trunks); zero in socket-per-UE
+	// runs.
+	Trunks int `json:"trunks,omitempty"`
 
 	// OfferedHBps is the sent rate, ThroughputHBps the acknowledged rate.
 	OfferedHBps    float64 `json:"offeredHBps"`
@@ -88,6 +97,15 @@ type Report struct {
 	// /metrics.json endpoint when Config.MetricsAddr is set; nil otherwise
 	// or when the scrape failed.
 	ServerMetrics *telemetry.Dump `json:"serverMetrics,omitempty"`
+	// ClusterEpoch is the ring epoch the fleet last observed (cluster mode).
+	ClusterEpoch uint64 `json:"clusterEpoch,omitempty"`
+	// ShardSent counts heartbeats the fleet addressed to each shard
+	// (cluster mode); trunked runs fill it from their per-batch routing.
+	ShardSent map[string]uint64 `json:"shardSent,omitempty"`
+	// ShardMetrics holds each shard's telemetry dump, scraped through the
+	// cluster config's HTTP endpoints (cluster mode); shards whose scrape
+	// failed are absent.
+	ShardMetrics map[string]*telemetry.Dump `json:"shardMetrics,omitempty"`
 }
 
 // snapshot assembles a cumulative report at the given elapsed time.
@@ -115,6 +133,8 @@ func (r *Runner) snapshot(elapsed time.Duration, final bool) Report {
 		DialErrors:      c.dialErrors.Load(),
 		WriteErrors:     c.writeErrors.Load(),
 		OutOfOrderAcks:  c.outOfOrderAcks.Load(),
+		FallbackResends: c.fallbackResends.Load(),
+		Trunks:          r.cfg.Trunks,
 
 		Overall: latencyStats(overall),
 		Direct:  latencyStats(direct),
@@ -148,6 +168,20 @@ func (r *Runner) snapshot(elapsed time.Duration, final bool) Report {
 			rep.ServerMetrics = d
 		}
 	}
+	if r.cluster != nil {
+		view := r.cluster.View()
+		rep.ClusterEpoch = view.Config.Epoch
+		rep.ShardSent = r.shardSent.snapshot()
+		rep.ShardMetrics = make(map[string]*telemetry.Dump, len(view.Config.Nodes))
+		for _, n := range view.Config.Nodes {
+			if n.HTTP == "" {
+				continue
+			}
+			if d, err := ScrapeDumpURL(n.HTTP, time.Second); err == nil {
+				rep.ShardMetrics[n.ID] = d
+			}
+		}
+	}
 	return rep
 }
 
@@ -176,9 +210,52 @@ func (rep Report) CountsTable() *metrics.Table {
 	row("sent", rep.Sent, rep.SentDirect, rep.SentRelayed)
 	row("acked", rep.Acked, rep.AckedDirect, rep.AckedRelayed)
 	row("timeouts", rep.Timeouts, rep.TimeoutsDirect, rep.TimeoutsRelayed)
+	if rep.FallbackResends > 0 {
+		// Resends are not re-counted in sent, so acked can exceed sent by
+		// up to this row.
+		row("fallback resends", rep.FallbackResends, 0, rep.FallbackResends)
+	}
 	t.AddRow("errors", fmt.Sprintf("%d", rep.Errors),
 		fmt.Sprintf("dial=%d", rep.DialErrors), fmt.Sprintf("write=%d", rep.WriteErrors))
 	t.AddRow("out-of-order acks", fmt.Sprintf("%d", rep.OutOfOrderAcks), "", "")
+	return t
+}
+
+// ShardTable renders per-shard routing and occupancy for cluster-mode
+// runs: heartbeats the fleet addressed to each shard next to the shard's
+// own presence gauge and misroute counter from its metrics scrape. Nil
+// when the run had no cluster target.
+func (rep Report) ShardTable() *metrics.Table {
+	if len(rep.ShardSent) == 0 && len(rep.ShardMetrics) == 0 {
+		return nil
+	}
+	ids := make(map[string]struct{}, len(rep.ShardSent)+len(rep.ShardMetrics))
+	for id := range rep.ShardSent {
+		ids[id] = struct{}{}
+	}
+	for id := range rep.ShardMetrics {
+		ids[id] = struct{}{}
+	}
+	sorted := make([]string, 0, len(ids))
+	for id := range ids {
+		sorted = append(sorted, id)
+	}
+	sort.Strings(sorted)
+
+	t := metrics.NewTable(fmt.Sprintf("cluster shards (ring epoch %d)", rep.ClusterEpoch),
+		"shard", "sent", "clients", "misrouted")
+	for _, id := range sorted {
+		clients, misrouted := "-", "-"
+		if d := rep.ShardMetrics[id]; d != nil {
+			if m := d.Find("relaynet_server_presence_clients"); m != nil {
+				clients = fmt.Sprintf("%.0f", m.Value)
+			}
+			if m := d.Find("relaynet_server_misrouted_frames_total"); m != nil {
+				misrouted = fmt.Sprintf("%.0f", m.Value)
+			}
+		}
+		t.AddRow(id, fmt.Sprintf("%d", rep.ShardSent[id]), clients, misrouted)
+	}
 	return t
 }
 
@@ -191,6 +268,10 @@ func (rep Report) String() string {
 	}
 	fmt.Fprintf(&b, "loadgen %s report — %d UEs (%d relayed via %d relays), arrival %s, speedup %s, elapsed %.1fs\n",
 		kind, rep.UEs, rep.RelayedUEs, rep.Relays, rep.Arrival, metrics.F(rep.Speedup), rep.ElapsedSec)
+	if rep.Trunks > 0 {
+		fmt.Fprintf(&b, "trunked fleet: %d trunks, ~%d users per trunk connection\n",
+			rep.Trunks, rep.UEs/rep.Trunks)
+	}
 	fmt.Fprintf(&b, "throughput %.1f hb/s acked (%.1f hb/s offered)\n\n",
 		rep.ThroughputHBps, rep.OfferedHBps)
 	b.WriteString(rep.CountsTable().String())
@@ -204,6 +285,13 @@ func (rep Report) String() string {
 	if rep.Relay != nil {
 		fmt.Fprintf(&b, "relays: collected=%d forwarded=%d flushes=%d rejected=%d\n",
 			rep.Relay.Collected, rep.Relay.Forwarded, rep.Relay.Flushes, rep.Relay.Rejected)
+	}
+	if st := rep.ShardTable(); st != nil {
+		b.WriteByte('\n')
+		b.WriteString(st.String())
+		if rep.FallbackResends > 0 {
+			fmt.Fprintf(&b, "fallback resends: %d\n", rep.FallbackResends)
+		}
 	}
 	if rep.ServerMetrics != nil {
 		b.WriteByte('\n')

@@ -14,18 +14,25 @@ import (
 // external server use it to fold the server-side counters into the report,
 // so one loadgen artifact captures both ends of the measurement.
 func ScrapeDump(addr string, timeout time.Duration) (*telemetry.Dump, error) {
+	return ScrapeDumpURL("http://"+addr, timeout)
+}
+
+// ScrapeDumpURL is ScrapeDump for a full base URL — the shape cluster
+// configs carry for each node's HTTP control plane. Cluster-mode reports
+// use it to scrape every shard's /metrics.json.
+func ScrapeDumpURL(base string, timeout time.Duration) (*telemetry.Dump, error) {
 	client := &http.Client{Timeout: timeout}
-	resp, err := client.Get("http://" + addr + "/metrics.json")
+	resp, err := client.Get(base + "/metrics.json")
 	if err != nil {
 		return nil, err
 	}
 	defer func() { _ = resp.Body.Close() }()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("loadgen: scrape %s: %s", addr, resp.Status)
+		return nil, fmt.Errorf("loadgen: scrape %s: %s", base, resp.Status)
 	}
 	var d telemetry.Dump
 	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
-		return nil, fmt.Errorf("loadgen: scrape %s: %w", addr, err)
+		return nil, fmt.Errorf("loadgen: scrape %s: %w", base, err)
 	}
 	return &d, nil
 }

@@ -1,0 +1,359 @@
+package loadgen
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"d2dhb/internal/cluster"
+	"d2dhb/internal/hbproto"
+)
+
+// maxTrunkBatch caps heartbeats per Batch frame: hbproto bounds frames at
+// MaxFrameSize and one encoded heartbeat is a few dozen bytes, so 4096
+// leaves comfortable headroom while keeping syscall counts low.
+const maxTrunkBatch = 4096
+
+// tuser is one multiplexed virtual user on a trunk.
+type tuser struct {
+	id   string
+	seq  uint64
+	last uint64 // highest acknowledged seq
+}
+
+// hbref identifies one in-flight heartbeat: user index + sequence number.
+type hbref struct {
+	idx int
+	seq uint64
+}
+
+// trunk multiplexes many virtual users over one hbproto relay connection
+// per target shard — the paper's aggregation argument applied to the load
+// generator itself, and the only way a single box offers a million users
+// (per-UE sockets exhaust ephemeral ports around a few tens of thousands
+// per destination). Every tick each user emits one heartbeat; the trunk
+// partitions them per owning shard under a single ring view and writes one
+// Batch per shard. In cluster mode a heartbeat whose ack misses the window
+// is re-sent once through the then-current view before a second miss counts
+// as a timeout, mirroring the vue fallback that keeps reshards lossless.
+type trunk struct {
+	id      string
+	app     string
+	addr    string // single-target address; ignored in cluster mode
+	period  time.Duration
+	expiry  time.Duration
+	pad     int
+	timeout time.Duration
+	rec     *Recorder
+	c       *fleetCounters
+	dial    func(network, addr string) (net.Conn, error)
+	cluster *cluster.Client // nil targets addr directly
+	shards  *shardCounter
+	readers *sync.WaitGroup
+
+	mu       sync.Mutex
+	users    []tuser
+	index    map[string]int  // user id → index (ids are immutable after build)
+	pending  map[hbref]int64 // in-flight heartbeat → send time (UnixNano)
+	fellBack map[hbref]bool  // heartbeats already re-sent; nil disables fallback
+	conns    map[string]net.Conn
+	closed   bool
+}
+
+// run is the send loop: activate after the arrival offset, then batch one
+// heartbeat per user every period until the run stops.
+func (t *trunk) run(done <-chan struct{}, offset time.Duration, sendWg *sync.WaitGroup) {
+	defer sendWg.Done()
+	if offset > 0 {
+		select {
+		case <-done:
+			return
+		case <-time.After(offset):
+		}
+	}
+	tick := time.NewTicker(t.period)
+	defer tick.Stop()
+	t.tick()
+	for {
+		select {
+		case <-done:
+			return
+		case <-tick.C:
+			t.tick()
+		}
+	}
+}
+
+// tick is one heartbeat interval for every user on the trunk: expire and
+// re-send stale pendings, then emit the fresh round.
+func (t *trunk) tick() {
+	now := time.Now()
+	resend := t.collectExpired(now)
+	nano := now.UnixNano()
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	fresh := make([]hbref, len(t.users))
+	for i := range t.users {
+		t.users[i].seq++
+		ref := hbref{i, t.users[i].seq}
+		t.pending[ref] = nano
+		fresh[i] = ref
+	}
+	t.mu.Unlock()
+	t.send(fresh, now, false)
+	if len(resend) > 0 {
+		t.send(resend, now, true)
+	}
+}
+
+// send partitions heartbeats per owning shard under one ring view (so a
+// round never mixes epochs) and writes one chunked Batch per shard.
+func (t *trunk) send(refs []hbref, now time.Time, fallback bool) {
+	if t.cluster == nil {
+		t.sendShard("", refs, now, fallback)
+		return
+	}
+	view := t.cluster.View()
+	keys := make([]string, len(refs))
+	for i, ref := range refs {
+		keys[i] = t.users[ref.idx].id
+	}
+	for shard, idxs := range view.Ring().Group(keys) {
+		group := make([]hbref, len(idxs))
+		for j, k := range idxs {
+			group[j] = refs[k]
+		}
+		t.sendShard(shard, group, now, fallback)
+	}
+}
+
+// sendShard writes one shard's heartbeats as Batch frames. Failures leave
+// the pending entries in place when fallback is available (the sweep
+// re-sends them through a newer view) and write them off as transport
+// errors otherwise.
+func (t *trunk) sendShard(shard string, refs []hbref, now time.Time, fallback bool) {
+	conn := t.ensureConn(shard)
+	if conn == nil {
+		t.c.dialErrors.Add(1)
+		t.abandon(refs)
+		return
+	}
+	for start := 0; start < len(refs); start += maxTrunkBatch {
+		end := start + maxTrunkBatch
+		if end > len(refs) {
+			end = len(refs)
+		}
+		chunk := refs[start:end]
+		b := &hbproto.Batch{Relay: t.id, HBs: make([]hbproto.Heartbeat, len(chunk))}
+		for i, ref := range chunk {
+			b.HBs[i] = hbproto.Heartbeat{
+				Src: t.users[ref.idx].id, Seq: ref.seq, App: t.app,
+				Origin: now, Expiry: t.expiry, Pad: t.pad,
+			}
+		}
+		if err := hbproto.WriteFrame(conn, b); err != nil {
+			t.c.writeErrors.Add(1)
+			t.dropConn(shard, conn)
+			t.abandon(refs[start:])
+			return
+		}
+		if fallback {
+			t.c.fallbackResends.Add(uint64(len(chunk)))
+		} else {
+			t.c.sentRelayed.Add(uint64(len(chunk)))
+		}
+		if shard != "" {
+			t.shards.add(shard, uint64(len(chunk)))
+		}
+	}
+}
+
+// abandon handles heartbeats that never hit the wire. With fallback
+// enabled they stay pending — the sweep re-sends them through the current
+// view once routes converge; without it they are removed so a transport
+// error is not double-counted as an ack timeout.
+func (t *trunk) abandon(refs []hbref) {
+	if t.fellBack != nil {
+		return
+	}
+	t.mu.Lock()
+	for _, ref := range refs {
+		delete(t.pending, ref)
+	}
+	t.mu.Unlock()
+}
+
+// collectExpired marks pendings older than the ack timeout: first expiry
+// with fallback enabled re-arms the clock and returns the heartbeat for a
+// direct re-send; anything else is written off as a timeout.
+func (t *trunk) collectExpired(now time.Time) []hbref {
+	cutoff := now.Add(-t.timeout).UnixNano()
+	var resend []hbref
+	t.mu.Lock()
+	for ref, at := range t.pending {
+		if at >= cutoff {
+			continue
+		}
+		if t.fellBack != nil && !t.fellBack[ref] {
+			t.fellBack[ref] = true
+			t.pending[ref] = now.UnixNano()
+			resend = append(resend, ref)
+			continue
+		}
+		delete(t.pending, ref)
+		if t.fellBack != nil {
+			delete(t.fellBack, ref)
+		}
+		t.c.timeoutRelayed.Add(1)
+	}
+	t.mu.Unlock()
+	return resend
+}
+
+// sweep re-sends expired heartbeats (drain-phase entry point; tick folds
+// the same collection into its round).
+func (t *trunk) sweep(now time.Time) {
+	if resend := t.collectExpired(now); len(resend) > 0 {
+		t.send(resend, now, true)
+	}
+}
+
+// ensureConn returns the live connection for a shard, resolving the
+// address through the current cluster config and registering as a relay
+// when dialing fresh.
+func (t *trunk) ensureConn(shard string) net.Conn {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	if conn := t.conns[shard]; conn != nil {
+		t.mu.Unlock()
+		return conn
+	}
+	t.mu.Unlock()
+
+	addr := t.addr
+	if t.cluster != nil {
+		node, ok := t.cluster.View().Config.Node(shard)
+		if !ok {
+			return nil
+		}
+		addr = node.Addr
+	}
+	conn, err := t.dial("tcp", addr)
+	if err != nil {
+		return nil
+	}
+	if err := hbproto.WriteFrame(conn, &hbproto.Register{
+		ID: t.id, Role: hbproto.RoleRelay, App: t.app,
+		Period: t.period, Expiry: t.expiry,
+	}); err != nil {
+		_ = conn.Close()
+		return nil
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		_ = conn.Close()
+		return nil
+	}
+	if existing := t.conns[shard]; existing != nil {
+		t.mu.Unlock()
+		_ = conn.Close()
+		return existing
+	}
+	t.conns[shard] = conn
+	t.mu.Unlock()
+	t.readers.Add(1)
+	go t.reader(shard, conn)
+	return conn
+}
+
+// dropConn forgets a shard's connection if still current and closes it.
+func (t *trunk) dropConn(shard string, conn net.Conn) {
+	t.mu.Lock()
+	if t.conns[shard] == conn {
+		delete(t.conns, shard)
+	}
+	t.mu.Unlock()
+	_ = conn.Close()
+}
+
+// reader matches batch-ack refs against pending heartbeats and records
+// latency; stale refs for superseded or already-settled sends are ignored.
+func (t *trunk) reader(shard string, conn net.Conn) {
+	defer t.readers.Done()
+	for {
+		msg, err := hbproto.ReadFrame(conn)
+		if err != nil {
+			t.dropConn(shard, conn)
+			return
+		}
+		ack, ok := msg.(*hbproto.Ack)
+		if !ok {
+			continue
+		}
+		now := time.Now().UnixNano()
+		t.mu.Lock()
+		for _, ref := range ack.Refs {
+			i, ok := t.index[ref.Src]
+			if !ok {
+				continue
+			}
+			key := hbref{i, ref.Seq}
+			at, ok := t.pending[key]
+			if !ok {
+				continue
+			}
+			delete(t.pending, key)
+			if t.fellBack != nil {
+				delete(t.fellBack, key)
+			}
+			t.rec.Record(uint64(now-at) / 1000)
+			t.c.ackedRelayed.Add(1)
+			if ref.Seq <= t.users[i].last {
+				t.c.outOfOrderAcks.Add(1)
+			} else {
+				t.users[i].last = ref.Seq
+			}
+		}
+		t.mu.Unlock()
+	}
+}
+
+// pendingCount returns how many heartbeats still await acknowledgement.
+func (t *trunk) pendingCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.pending)
+}
+
+// expireAll writes off every remaining pending heartbeat (end-of-run
+// drain).
+func (t *trunk) expireAll() {
+	t.mu.Lock()
+	n := len(t.pending)
+	t.pending = make(map[hbref]int64)
+	if t.fellBack != nil {
+		t.fellBack = make(map[hbref]bool)
+	}
+	t.mu.Unlock()
+	t.c.timeoutRelayed.Add(uint64(n))
+}
+
+// close shuts every shard connection down; readers exit on the closed
+// conns.
+func (t *trunk) close() {
+	t.mu.Lock()
+	t.closed = true
+	conns := t.conns
+	t.conns = make(map[string]net.Conn)
+	t.mu.Unlock()
+	for _, conn := range conns {
+		_ = conn.Close()
+	}
+}

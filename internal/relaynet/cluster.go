@@ -1,0 +1,114 @@
+package relaynet
+
+// Cluster-facing surface of the presence server: the state handoff that
+// backs graceful drain/live resharding (internal/cluster), plus mis-route
+// accounting so operators can see traffic that arrived at a shard the ring
+// no longer assigns it (stale epochs in some routing party).
+
+import (
+	"time"
+
+	"d2dhb/internal/cluster"
+)
+
+// SetCluster makes the server cluster-aware: selfID is this shard's ring
+// identity and client tracks the cluster config. Heartbeats whose source
+// hashes to a different shard under the current epoch are still accepted
+// (availability beats placement — a stale-epoch relay must not lose
+// heartbeats) but counted in Stats().Misrouted and the
+// relaynet_server_misrouted_frames_total counter. Call before Start.
+func (s *Server) SetCluster(selfID string, client *cluster.Client) {
+	s.selfID = selfID
+	s.clusterClient = client
+}
+
+// Draining reports whether SetDraining(true) marked this shard as leaving
+// the cluster.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// SetDraining implements cluster.Store: it only flags the shard (the flag
+// backs /readyz); the server keeps accepting and acknowledging heartbeats
+// until Shutdown, so in-flight traffic from stale-epoch parties is never
+// dropped during a drain.
+func (s *Server) SetDraining(v bool) {
+	s.mu.Lock()
+	s.draining = v
+	s.mu.Unlock()
+}
+
+// ExportPresence implements cluster.Store: a snapshot of every tracked
+// client's presence row and delivered-sequence high-water mark.
+func (s *Server) ExportPresence() []cluster.PresenceEntry {
+	var out []cluster.PresenceEntry
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for id, p := range sh.clients {
+			out = append(out, cluster.PresenceEntry{
+				ID:               id,
+				App:              p.app,
+				LastSeenUnixNano: p.lastSeen.UnixNano(),
+				DeadlineUnixNano: p.deadline.UnixNano(),
+				MaxSeq:           p.maxSeq,
+			})
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// ImportPresence implements cluster.Store: entries merge into the table,
+// never regressing state this shard already holds — the later lastSeen and
+// deadline win, and the sequence high-water only ratchets up. A heartbeat
+// that raced ahead of the handoff therefore keeps its effect.
+func (s *Server) ImportPresence(entries []cluster.PresenceEntry) {
+	for _, e := range entries {
+		if e.ID == "" {
+			continue
+		}
+		sh := s.shard(e.ID)
+		sh.mu.Lock()
+		p, ok := sh.clients[e.ID]
+		if !ok {
+			p = &presence{app: e.App}
+			sh.clients[e.ID] = p
+		}
+		if ls := time.Unix(0, e.LastSeenUnixNano); ls.After(p.lastSeen) {
+			p.lastSeen = ls
+		}
+		if dl := time.Unix(0, e.DeadlineUnixNano); dl.After(p.deadline) {
+			p.deadline = dl
+		}
+		if e.MaxSeq > p.maxSeq {
+			p.maxSeq = e.MaxSeq
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// ForgetPresence implements cluster.Store: drops clients whose keys were
+// handed to another shard, keeping this shard's occupancy gauges truthful.
+func (s *Server) ForgetPresence(ids []string) {
+	for _, id := range ids {
+		sh := s.shard(id)
+		sh.mu.Lock()
+		delete(sh.clients, id)
+		sh.mu.Unlock()
+	}
+}
+
+// noteRouting counts a delivery that reached the wrong shard under the
+// current ring epoch.
+func (s *Server) noteRouting(src string) {
+	if s.clusterClient == nil {
+		return
+	}
+	if s.clusterClient.View().Ring().Owner(src) != s.selfID {
+		s.misrouted.Add(1)
+		s.ins.misrouted.Inc()
+	}
+}

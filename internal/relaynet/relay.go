@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"d2dhb/internal/cluster"
 	"d2dhb/internal/hbmsg"
 	"d2dhb/internal/hbproto"
 	"d2dhb/internal/sched"
@@ -39,15 +40,30 @@ type RelayAgentConfig struct {
 	// net.Listen. Fault-injection hook.
 	Listen func(network, addr string) (net.Listener, error)
 	// ReconnectAttempts bounds upstream redial attempts after the server
-	// connection breaks. Zero selects 6.
+	// connection breaks (single-server mode). Zero selects 6.
 	ReconnectAttempts int
 	// ReconnectBase is the initial redial backoff, doubled per attempt
 	// with ±50% seeded jitter so relay fleets losing the same server do
-	// not stampede it in lockstep. Zero selects 50 ms.
+	// not stampede it in lockstep.  Cluster mode uses the same base for
+	// its per-shard backoff. Zero selects 50 ms.
 	ReconnectBase time.Duration
 	// Seed seeds the backoff jitter RNG; zero derives a seed from ID, so
 	// distinct relays jitter differently by default.
 	Seed int64
+	// Cluster switches the relay to sharded fanout: every flushed batch is
+	// partitioned by the client's current ring epoch and each sub-batch
+	// goes to the owning presence shard over a lazily-dialed per-shard
+	// connection. The serverAddr argument to Start is ignored. A shard
+	// that cannot be reached costs only its own sub-batch (the affected
+	// UEs recover through the feedback-timeout fallback); the relay never
+	// blocks its scheduling loop on a dead shard.
+	Cluster *cluster.Client
+	// ResolveServer, when non-nil, re-resolves the upstream server address
+	// before the initial dial and again on every reconnect attempt —
+	// without it a relay redials the address it first connected to even
+	// after the cluster moved or restarted that server elsewhere.
+	// Single-server mode only (cluster mode resolves through the ring).
+	ResolveServer func() (string, error)
 	// Telemetry registers the agent's runtime metrics (batch sizes,
 	// collect-to-flush latency, reconnect attempts, scheduler occupancy
 	// and deadline slack) in the given registry. Nil disables telemetry.
@@ -67,6 +83,9 @@ func (c RelayAgentConfig) validate() error {
 	if c.ReconnectAttempts < 0 || c.ReconnectBase < 0 {
 		return fmt.Errorf("relaynet: negative reconnect attempts/base (%d/%v)",
 			c.ReconnectAttempts, c.ReconnectBase)
+	}
+	if c.Cluster != nil && c.ResolveServer != nil {
+		return errors.New("relaynet: Cluster and ResolveServer are mutually exclusive")
 	}
 	return nil
 }
@@ -99,6 +118,13 @@ type RelayAgentStats struct {
 	FeedbacksSent      int
 	Credits            int
 	UpstreamReconnects int
+	// ShardDials counts successful upstream dials in cluster mode
+	// (including each shard's first).
+	ShardDials int
+	// DroppedNoShard counts heartbeats abandoned because their owning
+	// shard was unreachable (or in dial backoff) at flush time. The UEs
+	// recover through the feedback-timeout fallback.
+	DroppedNoShard int
 }
 
 // ueConn is one connected UE on the relay's "D2D" listener.
@@ -109,24 +135,34 @@ type ueConn struct {
 
 // relayEvent is the main loop's input alphabet.
 type relayEvent struct {
-	// exactly one of the fields below is set
+	// exactly one of ueMsg/ueClosed/ack/upErr is set
 	ueMsg    hbproto.Message
 	ueFrom   *ueConn
 	ueClosed *ueConn
 	ack      *hbproto.Ack
 	upErr    error
+	// upShard and upConn attribute an upstream error to the shard
+	// connection it broke (upShard is singleShard outside cluster mode),
+	// so the run loop can ignore errors from connections it has already
+	// replaced.
+	upShard string
+	upConn  net.Conn
 }
+
+// singleShard keys the upstream map in single-server mode.
+const singleShard = ""
 
 // RelayAgent collects heartbeats from UE connections and forwards them to
 // the server in aggregated batches under the Algorithm 1 schedule, sending
-// feedback to each UE once the server acknowledges the batch.
+// feedback to each UE once the server acknowledges the batch. In cluster
+// mode the flush fans out per owning shard instead of using one upstream.
 type RelayAgent struct {
 	cfg RelayAgentConfig
 
 	mu         sync.Mutex
 	ln         net.Listener
-	up         net.Conn
-	serverAddr string
+	upConns    map[net.Conn]struct{} // live upstream conns, for Shutdown
+	serverAddr string                // last known single-server address
 	started    bool
 	closed     bool
 	stats      RelayAgentStats
@@ -136,14 +172,21 @@ type RelayAgent struct {
 	wg     sync.WaitGroup
 
 	// main-loop state (owned by run goroutine)
-	policy   *sched.Nagle
-	start    time.Time
-	seq      uint64
-	ownHB    *hbproto.Heartbeat
-	sources  map[hbproto.Ref]*ueConn
-	ueConns  map[*ueConn]struct{}
-	awaiting []awaitingBatch
-	rng      *rand.Rand // backoff jitter; owned by run goroutine
+	policy  *sched.Nagle
+	start   time.Time
+	seq     uint64
+	ownHB   *hbproto.Heartbeat
+	sources map[hbproto.Ref]*ueConn
+	ueConns map[*ueConn]struct{}
+	rng     *rand.Rand // backoff jitter; owned by run goroutine
+	// ups maps shard ID -> live upstream connection (singleShard key in
+	// single-server mode). downUntil/backoffCur arm the per-shard redial
+	// backoff so flush never hammers a dead shard, and everDialed
+	// distinguishes a reconnect from a shard's first dial in the stats.
+	ups        map[string]net.Conn
+	downUntil  map[string]time.Duration
+	backoffCur map[string]time.Duration
+	everDialed map[string]bool
 	// collectedAt mirrors the policy's pending buffer with each message's
 	// collect instant, so flush can histogram collect-to-flush latency.
 	// Owned by the run goroutine, like the policy itself.
@@ -159,14 +202,9 @@ type relayInstruments struct {
 	feedbacks      *telemetry.Counter
 	reconnectTries *telemetry.Counter
 	reconnects     *telemetry.Counter
+	shardDrops     *telemetry.Counter
 	batchSize      *telemetry.Histogram
 	collectToFlush *telemetry.Histogram
-}
-
-// awaitingBatch tracks a transmitted batch until the server acknowledges
-// it.
-type awaitingBatch struct {
-	refs []hbproto.Ref
 }
 
 // NewRelayAgent returns an unstarted relay agent.
@@ -189,13 +227,18 @@ func NewRelayAgent(cfg RelayAgentConfig) (*RelayAgent, error) {
 		seed = int64(h)
 	}
 	r := &RelayAgent{
-		cfg:     cfg,
-		events:  make(chan relayEvent),
-		done:    make(chan struct{}),
-		policy:  policy,
-		sources: make(map[hbproto.Ref]*ueConn),
-		ueConns: make(map[*ueConn]struct{}),
-		rng:     rand.New(rand.NewSource(seed)),
+		cfg:        cfg,
+		upConns:    make(map[net.Conn]struct{}),
+		events:     make(chan relayEvent),
+		done:       make(chan struct{}),
+		policy:     policy,
+		sources:    make(map[hbproto.Ref]*ueConn),
+		ueConns:    make(map[*ueConn]struct{}),
+		ups:        make(map[string]net.Conn),
+		downUntil:  make(map[string]time.Duration),
+		backoffCur: make(map[string]time.Duration),
+		everDialed: make(map[string]bool),
+		rng:        rand.New(rand.NewSource(seed)),
 	}
 	if reg := cfg.Telemetry; reg != nil {
 		rl := telemetry.L("relay", cfg.ID)
@@ -204,6 +247,7 @@ func NewRelayAgent(cfg RelayAgentConfig) (*RelayAgent, error) {
 			feedbacks:      reg.Counter("relaynet_relay_feedbacks_total", rl),
 			reconnectTries: reg.Counter("relaynet_relay_reconnect_attempts_total", rl),
 			reconnects:     reg.Counter("relaynet_relay_reconnects_total", rl),
+			shardDrops:     reg.Counter("relaynet_relay_shard_drops_total", rl),
 			batchSize:      reg.Histogram("relaynet_relay_batch_size", "msgs", 1, rl),
 			collectToFlush: reg.Histogram("relaynet_relay_collect_to_flush_us", "us", 1, rl),
 		}
@@ -224,8 +268,38 @@ func NewRelayAgent(cfg RelayAgentConfig) (*RelayAgent, error) {
 	return r, nil
 }
 
-// Start listens for UE connections on listenAddr and connects upstream to
-// the server.
+// register writes the relay's Register frame on a fresh upstream conn.
+func (r *RelayAgent) register(conn net.Conn) error {
+	return hbproto.WriteFrame(conn, &hbproto.Register{
+		ID: r.cfg.ID, Role: hbproto.RoleRelay, App: r.cfg.App,
+		Period: r.cfg.Period, Expiry: r.cfg.Expiry,
+	})
+}
+
+// trackUp registers a live upstream conn for Shutdown; false means the
+// agent is already closing and the caller must discard the conn.
+func (r *RelayAgent) trackUp(conn net.Conn) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return false
+	}
+	r.upConns[conn] = struct{}{}
+	return true
+}
+
+// untrackUp closes and forgets a dead upstream conn.
+func (r *RelayAgent) untrackUp(conn net.Conn) {
+	_ = conn.Close()
+	r.mu.Lock()
+	delete(r.upConns, conn)
+	r.mu.Unlock()
+}
+
+// Start listens for UE connections on listenAddr and, in single-server
+// mode, connects upstream to the server (serverAddr, or whatever
+// ResolveServer returns). In cluster mode serverAddr is ignored: per-shard
+// connections are dialed lazily at the first flush toward each shard.
 //
 // The listen/dial/register sequence runs outside r.mu: these calls block
 // on the network, and holding the agent lock across them would stall
@@ -239,6 +313,7 @@ func (r *RelayAgent) Start(listenAddr, serverAddr string) error {
 		return errors.New("relaynet: relay already started")
 	}
 	r.started = true
+	r.serverAddr = serverAddr
 	r.mu.Unlock()
 
 	fail := func(err error) error {
@@ -251,18 +326,24 @@ func (r *RelayAgent) Start(listenAddr, serverAddr string) error {
 	if err != nil {
 		return fail(fmt.Errorf("relaynet: relay listen: %w", err))
 	}
-	up, err := r.cfg.dial("tcp", serverAddr)
-	if err != nil {
-		_ = ln.Close()
-		return fail(fmt.Errorf("relaynet: relay dial server: %w", err))
-	}
-	if err := hbproto.WriteFrame(up, &hbproto.Register{
-		ID: r.cfg.ID, Role: hbproto.RoleRelay, App: r.cfg.App,
-		Period: r.cfg.Period, Expiry: r.cfg.Expiry,
-	}); err != nil {
-		_ = ln.Close()
-		_ = up.Close()
-		return fail(fmt.Errorf("relaynet: relay register: %w", err))
+
+	var up net.Conn
+	if r.cfg.Cluster == nil {
+		addr := r.resolveServerAddr()
+		if addr == "" {
+			_ = ln.Close()
+			return fail(errors.New("relaynet: no server address (set serverAddr or ResolveServer)"))
+		}
+		up, err = r.cfg.dial("tcp", addr)
+		if err != nil {
+			_ = ln.Close()
+			return fail(fmt.Errorf("relaynet: relay dial server: %w", err))
+		}
+		if err := r.register(up); err != nil {
+			_ = ln.Close()
+			_ = up.Close()
+			return fail(fmt.Errorf("relaynet: relay register: %w", err))
+		}
 	}
 
 	r.mu.Lock()
@@ -271,19 +352,44 @@ func (r *RelayAgent) Start(listenAddr, serverAddr string) error {
 		// no connections to close, so close them here.
 		r.mu.Unlock()
 		_ = ln.Close()
-		_ = up.Close()
+		if up != nil {
+			_ = up.Close()
+		}
 		return errors.New("relaynet: relay shut down during start")
 	}
 	r.ln = ln
-	r.up = up
-	r.serverAddr = serverAddr
-	r.wg.Add(3)
+	if up != nil {
+		r.upConns[up] = struct{}{}
+		r.ups[singleShard] = up
+		r.everDialed[singleShard] = true
+	}
+	r.wg.Add(2)
 	r.mu.Unlock()
 
 	go r.acceptLoop()
-	go r.upstreamReader(up)
 	go r.run()
+	if up != nil {
+		r.wg.Add(1)
+		go r.upstreamReader(up, singleShard)
+	}
 	return nil
+}
+
+// resolveServerAddr returns the current single-server target, invoking the
+// ResolveServer hook when configured so every (re)connect targets whatever
+// the router currently advertises, not the address the relay first saw.
+func (r *RelayAgent) resolveServerAddr() string {
+	if r.cfg.ResolveServer != nil {
+		if a, err := r.cfg.ResolveServer(); err == nil && a != "" {
+			r.mu.Lock()
+			r.serverAddr = a
+			r.mu.Unlock()
+			return a
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.serverAddr
 }
 
 // Addr returns the UE-side listening address.
@@ -313,13 +419,13 @@ func (r *RelayAgent) Shutdown() {
 	}
 	r.closed = true
 	close(r.done)
-	// ln/up are nil when Start is still mid-dial; Start sees closed=true
-	// and closes its own connections.
+	// ln is nil when Start is still mid-dial; Start sees closed=true and
+	// closes its own connections.
 	if r.ln != nil {
 		_ = r.ln.Close()
 	}
-	if r.up != nil {
-		_ = r.up.Close()
+	for c := range r.upConns {
+		_ = c.Close()
 	}
 	r.mu.Unlock()
 	r.wg.Wait()
@@ -369,16 +475,17 @@ func (r *RelayAgent) ueReader(uc *ueConn) {
 }
 
 // upstreamReader decodes server acknowledgements from one upstream
-// connection, reporting any terminal error to the main loop so it can
-// reconnect.
-func (r *RelayAgent) upstreamReader(conn net.Conn) {
+// connection, reporting any terminal error (tagged with its shard) to the
+// main loop so it can reconnect or back off.
+func (r *RelayAgent) upstreamReader(conn net.Conn, shard string) {
 	defer r.wg.Done()
+	defer r.untrackUp(conn)
 	for {
 		msg, err := hbproto.ReadFrame(conn)
 		if err != nil {
 			if !r.isClosed() {
 				select {
-				case r.events <- relayEvent{upErr: err}:
+				case r.events <- relayEvent{upErr: err, upShard: shard, upConn: conn}:
 				case <-r.done:
 				}
 			}
@@ -399,7 +506,20 @@ func (r *RelayAgent) upstreamReader(conn net.Conn) {
 const (
 	defaultReconnectAttempts = 6
 	defaultReconnectBase     = 50 * time.Millisecond
+	// maxShardBackoff caps the per-shard redial backoff in cluster mode:
+	// unlike the bounded single-server retry loop, shard dials are retried
+	// at every flush forever, so the backoff needs a ceiling rather than
+	// an attempt budget.
+	maxShardBackoff = 5 * time.Second
 )
+
+// reconnectBase resolves the configured backoff base.
+func (r *RelayAgent) reconnectBase() time.Duration {
+	if r.cfg.ReconnectBase > 0 {
+		return r.cfg.ReconnectBase
+	}
+	return defaultReconnectBase
+}
 
 // jittered spreads one backoff across [d/2, 3d/2) using the relay's seeded
 // RNG: when a whole relay fleet loses the same server, their redial storms
@@ -408,40 +528,41 @@ func (r *RelayAgent) jittered(d time.Duration) time.Duration {
 	return time.Duration(float64(d) * (0.5 + r.rng.Float64()))
 }
 
-// reconnectUpstream re-establishes the server connection after a break.
+// reconnectUpstream re-establishes the single-server connection after a
+// break, re-resolving the target through ResolveServer on every attempt.
 // Batches awaiting acknowledgement are abandoned: their UEs recover through
 // the feedback-timeout fallback, exactly as with a dead relay.
 func (r *RelayAgent) reconnectUpstream() bool {
-	r.awaiting = nil
-	_ = r.up.Close()
+	if old, ok := r.ups[singleShard]; ok {
+		delete(r.ups, singleShard)
+		_ = old.Close()
+	}
 	attempts := r.cfg.ReconnectAttempts
 	if attempts == 0 {
 		attempts = defaultReconnectAttempts
 	}
-	backoff := r.cfg.ReconnectBase
-	if backoff == 0 {
-		backoff = defaultReconnectBase
-	}
+	backoff := r.reconnectBase()
 	for attempt := 0; attempt < attempts; attempt++ {
 		if r.isClosed() {
 			return false
 		}
 		r.ins.reconnectTries.Inc()
-		conn, err := r.cfg.dial("tcp", r.serverAddr)
+		conn, err := r.cfg.dial("tcp", r.resolveServerAddr())
 		if err == nil {
-			err = hbproto.WriteFrame(conn, &hbproto.Register{
-				ID: r.cfg.ID, Role: hbproto.RoleRelay, App: r.cfg.App,
-				Period: r.cfg.Period, Expiry: r.cfg.Expiry,
-			})
+			err = r.register(conn)
 		}
 		if err == nil {
+			if !r.trackUp(conn) {
+				_ = conn.Close()
+				return false
+			}
 			r.ins.reconnects.Inc()
+			r.ups[singleShard] = conn
 			r.mu.Lock()
-			r.up = conn
 			r.stats.UpstreamReconnects++
 			r.mu.Unlock()
 			r.wg.Add(1)
-			go r.upstreamReader(conn)
+			go r.upstreamReader(conn, singleShard)
 			return true
 		}
 		if conn != nil {
@@ -455,6 +576,80 @@ func (r *RelayAgent) reconnectUpstream() bool {
 		backoff *= 2
 	}
 	return false
+}
+
+// armShardBackoff schedules the next allowed dial for a shard after a
+// failure, doubling up to maxShardBackoff.
+func (r *RelayAgent) armShardBackoff(shard string, now time.Duration) {
+	b := r.backoffCur[shard]
+	if b == 0 {
+		b = r.reconnectBase()
+	}
+	r.downUntil[shard] = now + r.jittered(b)
+	if b *= 2; b > maxShardBackoff {
+		b = maxShardBackoff
+	}
+	r.backoffCur[shard] = b
+}
+
+// shardConn returns the live connection to a shard, dialing it if absent
+// and not in backoff. A failed dial arms the shard's backoff and returns
+// nil — the caller drops that sub-batch and the scheduling loop moves on.
+func (r *RelayAgent) shardConn(shard string, view *cluster.View) net.Conn {
+	if conn, ok := r.ups[shard]; ok {
+		return conn
+	}
+	now := r.now()
+	if until, ok := r.downUntil[shard]; ok && now < until {
+		return nil
+	}
+	node, ok := view.Config.Node(shard)
+	if !ok {
+		return nil
+	}
+	r.ins.reconnectTries.Inc()
+	conn, err := r.cfg.dial("tcp", node.Addr)
+	if err == nil {
+		err = r.register(conn)
+	}
+	if err != nil {
+		if conn != nil {
+			_ = conn.Close()
+		}
+		r.armShardBackoff(shard, now)
+		return nil
+	}
+	if !r.trackUp(conn) {
+		_ = conn.Close()
+		return nil
+	}
+	delete(r.downUntil, shard)
+	delete(r.backoffCur, shard)
+	r.ups[shard] = conn
+	r.ins.reconnects.Inc()
+	r.mu.Lock()
+	r.stats.ShardDials++
+	if r.everDialed[shard] {
+		r.stats.UpstreamReconnects++
+	}
+	r.mu.Unlock()
+	r.everDialed[shard] = true
+	r.wg.Add(1)
+	go r.upstreamReader(conn, shard)
+	return conn
+}
+
+// dropShardConn retires a shard connection the reader reported broken,
+// unless flush already replaced it (stale error from a conn this loop has
+// moved past).
+func (r *RelayAgent) dropShardConn(shard string, conn net.Conn) {
+	cur, ok := r.ups[shard]
+	if !ok || cur != conn {
+		return
+	}
+	delete(r.ups, shard)
+	_ = conn.Close()
+	r.armShardBackoff(shard, r.now())
 }
 
 // now returns policy time: the duration since the agent started.
@@ -494,8 +689,17 @@ func (r *RelayAgent) run() {
 			case ev.ack != nil:
 				r.handleAck(ev.ack)
 			case ev.upErr != nil:
-				// Upstream broke: try to reconnect; if the server stays
-				// unreachable, stop scheduling and let UEs fall back.
+				if r.cfg.Cluster != nil {
+					// A shard broke: retire its connection and back off.
+					// The next flush redials; meanwhile the other shards
+					// keep their schedule — a cluster relay never blocks
+					// its run loop on one dead shard.
+					r.dropShardConn(ev.upShard, ev.upConn)
+					continue
+				}
+				// Single upstream broke: try to reconnect; if the server
+				// stays unreachable, stop scheduling and let UEs fall
+				// back.
 				if !r.reconnectUpstream() {
 					return
 				}
@@ -590,7 +794,10 @@ func (r *RelayAgent) collect(uc *ueConn, m *hbproto.Heartbeat) {
 	}
 }
 
-// flush transmits the batch plus the relay's own heartbeat upstream.
+// flush transmits the batch plus the relay's own heartbeat upstream. In
+// cluster mode the batch is partitioned by the current ring epoch and each
+// sub-batch goes to its owning shard; exactly one View is captured per
+// flush, so a batch never mixes two epochs.
 func (r *RelayAgent) flush() {
 	now := r.now()
 	batch := r.policy.Flush(now)
@@ -602,44 +809,88 @@ func (r *RelayAgent) flush() {
 		}
 	}
 	r.collectedAt = r.collectedAt[:0]
-	out := &hbproto.Batch{Relay: r.cfg.ID}
-	refs := make([]hbproto.Ref, 0, len(batch))
+	hbs := make([]hbproto.Heartbeat, 0, len(batch)+1)
 	for _, hb := range batch {
-		wire := hbproto.Heartbeat{
+		hbs = append(hbs, hbproto.Heartbeat{
 			Src: string(hb.Src), Seq: hb.Seq, App: hb.App,
 			Origin: r.start.Add(hb.Origin), Expiry: hb.Expiry, Pad: hb.Size,
-		}
-		out.HBs = append(out.HBs, wire)
-		refs = append(refs, hbproto.Ref{Src: wire.Src, Seq: wire.Seq})
+		})
 	}
 	if r.ownHB != nil {
-		out.HBs = append(out.HBs, *r.ownHB)
+		hbs = append(hbs, *r.ownHB)
 		r.ownHB = nil
 	}
-	if len(out.HBs) == 0 {
+	if len(hbs) == 0 {
 		return
 	}
-	if err := hbproto.WriteFrame(r.up, out); err != nil {
-		return
+
+	flushed := false
+	if r.cfg.Cluster == nil {
+		conn, ok := r.ups[singleShard]
+		if ok && r.sendBatch(conn, singleShard, hbs) {
+			flushed = true
+		}
+	} else {
+		view := r.cfg.Cluster.View()
+		keys := make([]string, len(hbs))
+		for i := range hbs {
+			keys[i] = hbs[i].Src
+		}
+		for shard, idxs := range view.Ring().Group(keys) {
+			sub := make([]hbproto.Heartbeat, 0, len(idxs))
+			for _, i := range idxs {
+				sub = append(sub, hbs[i])
+			}
+			conn := r.shardConn(shard, view)
+			if conn == nil || !r.sendBatch(conn, shard, sub) {
+				if conn != nil {
+					r.dropShardConn(shard, conn)
+				}
+				r.ins.shardDrops.Add(uint64(len(sub)))
+				r.mu.Lock()
+				r.stats.DroppedNoShard += len(sub)
+				r.mu.Unlock()
+				continue
+			}
+			flushed = true
+		}
 	}
-	r.ins.batchSize.Record(uint64(len(out.HBs)))
-	r.awaiting = append(r.awaiting, awaitingBatch{refs: refs})
+	if flushed {
+		r.mu.Lock()
+		r.stats.Flushes++
+		r.mu.Unlock()
+	}
+}
+
+// sendBatch writes one wire batch to an upstream connection, updating the
+// forwarding counters on success.
+func (r *RelayAgent) sendBatch(conn net.Conn, shard string, hbs []hbproto.Heartbeat) bool {
+	if err := hbproto.WriteFrame(conn, &hbproto.Batch{Relay: r.cfg.ID, HBs: hbs}); err != nil {
+		return false
+	}
+	r.ins.batchSize.Record(uint64(len(hbs)))
+	// The relay's own heartbeat is not a forwarded UE message.
+	ueCount := 0
+	for i := range hbs {
+		if hbs[i].Src != r.cfg.ID {
+			ueCount++
+		}
+	}
 	trace.Emit(r.cfg.Tracer, trace.Event{
 		AtMs: time.Now().UnixMilli(), Device: r.cfg.ID, Kind: trace.KindFlush,
-		N: len(out.HBs), Reason: r.policy.LastFlushReason().String(),
+		N: len(hbs), Reason: r.policy.LastFlushReason().String(), Peer: shard,
 	})
 	r.mu.Lock()
-	r.stats.Flushes++
-	r.stats.Forwarded += len(refs)
-	r.stats.Credits += len(refs)
+	r.stats.Forwarded += ueCount
+	r.stats.Credits += ueCount
 	r.mu.Unlock()
+	return true
 }
 
 // handleAck relays the server's acknowledgement to each UE as feedback.
+// Acks from every shard funnel through the same path: the refs identify
+// their UEs regardless of which upstream carried the batch.
 func (r *RelayAgent) handleAck(ack *hbproto.Ack) {
-	if len(r.awaiting) > 0 {
-		r.awaiting = r.awaiting[1:]
-	}
 	perUE := make(map[*ueConn][]hbproto.Ref)
 	for _, ref := range ack.Refs {
 		uc, ok := r.sources[ref]

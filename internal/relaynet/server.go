@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"d2dhb/internal/cluster"
 	"d2dhb/internal/hbmsg"
 	"d2dhb/internal/hbproto"
 	presencepkg "d2dhb/internal/presence"
@@ -41,13 +42,21 @@ type ServerStats struct {
 	// WriteDeadlineHits counts ack writes that hit the write deadline (the
 	// client stopped reading).
 	WriteDeadlineHits int
+	// Misrouted counts heartbeats delivered to this shard although the
+	// cluster ring assigns their source to another shard (stale routing
+	// epoch somewhere). Always zero outside cluster mode.
+	Misrouted int
 }
 
-// presence is one client's keep-alive state.
+// presence is one client's keep-alive state. maxSeq is the delivered
+// sequence high-water mark; it travels with the entry during a cluster
+// handoff so the receiving shard knows what the client has already proven
+// delivered.
 type presence struct {
 	app      string
 	lastSeen time.Time
 	deadline time.Time
+	maxSeq   uint64
 }
 
 // presenceShardCount stripes the presence table. Power of two so the hash
@@ -104,6 +113,14 @@ type Server struct {
 	protocolErrors atomic.Int64
 	idleDrops      atomic.Int64
 	writeTimeouts  atomic.Int64
+	misrouted      atomic.Int64
+
+	// Cluster mode (see cluster.go): selfID is this shard's ring identity,
+	// clusterClient tracks the epoch-versioned config, draining backs the
+	// Store handoff protocol. All set before Start / guarded by mu.
+	selfID        string
+	clusterClient *cluster.Client
+	draining      bool
 
 	ins serverInstruments
 
@@ -151,6 +168,7 @@ type serverInstruments struct {
 	dropsIdle     *telemetry.Counter
 	writeTimeouts *telemetry.Counter
 	late          *telemetry.Counter
+	misrouted     *telemetry.Counter
 	batchSize     *telemetry.Histogram
 }
 
@@ -169,6 +187,7 @@ func (s *Server) SetTelemetry(reg *telemetry.Registry) {
 		dropsIdle:     reg.Counter("relaynet_server_drops_total", telemetry.L("reason", "idle")),
 		writeTimeouts: reg.Counter("relaynet_server_write_deadline_hits_total"),
 		late:          reg.Counter("relaynet_server_late_heartbeats_total"),
+		misrouted:     reg.Counter("relaynet_server_misrouted_frames_total"),
 		batchSize:     reg.Histogram("relaynet_server_batch_size", "msgs", 8),
 	}
 	reg.GaugeFunc("relaynet_server_open_connections", func() float64 {
@@ -296,6 +315,7 @@ func (s *Server) Stats() ServerStats {
 	st.ProtocolErrors = int(s.protocolErrors.Load())
 	st.IdleDrops = int(s.idleDrops.Load())
 	st.WriteDeadlineHits = int(s.writeTimeouts.Load())
+	st.Misrouted = int(s.misrouted.Load())
 	return st
 }
 
@@ -485,6 +505,7 @@ func (s *Server) touch(cc *connCounters, hb *hbproto.Heartbeat, now time.Time, r
 		cc.late.Add(1)
 		s.ins.late.Inc()
 	}
+	s.noteRouting(hb.Src)
 	sh := s.shard(hb.Src)
 	sh.mu.Lock()
 	p, ok := sh.clients[hb.Src]
@@ -495,6 +516,9 @@ func (s *Server) touch(cc *connCounters, hb *hbproto.Heartbeat, now time.Time, r
 	p.lastSeen = now
 	if deadline := now.Add(hb.Expiry); deadline.After(p.deadline) {
 		p.deadline = deadline
+	}
+	if hb.Seq > p.maxSeq {
+		p.maxSeq = hb.Seq
 	}
 	_ = sh.tracker.Deliver(hbmsg.Heartbeat{
 		Src:    hbmsg.DeviceID(hb.Src),

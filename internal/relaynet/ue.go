@@ -59,6 +59,12 @@ type UEClientConfig struct {
 	// ServerAddr is the presence server, used directly when no relay is
 	// configured or as the fallback path.
 	ServerAddr string
+	// ResolveServer, when non-nil, re-resolves the direct-path server
+	// address on every dial (e.g. by asking the cluster router for the
+	// shard owning this UE's ID). With a resolver ServerAddr may be empty;
+	// when both are set the resolver wins and ServerAddr is the fallback
+	// for resolver failures.
+	ResolveServer func() (string, error)
 	// FeedbackTimeout is how long to wait for relay feedback before
 	// resending directly. Zero selects Expiry plus a small grace.
 	FeedbackTimeout time.Duration
@@ -93,10 +99,20 @@ func (c UEClientConfig) validate() error {
 			return err
 		}
 	}
-	if c.ServerAddr == "" {
+	if c.ServerAddr == "" && c.ResolveServer == nil {
 		return errors.New("relaynet: empty server address")
 	}
 	return nil
+}
+
+// serverAddr resolves the direct-path target for one dial.
+func (c UEClientConfig) serverAddr() string {
+	if c.ResolveServer != nil {
+		if a, err := c.ResolveServer(); err == nil && a != "" {
+			return a
+		}
+	}
+	return c.ServerAddr
 }
 
 // apps returns every registered app, primary first.
@@ -369,34 +385,49 @@ func (u *UEClient) sendHeartbeat(seq uint64, app UEApp) {
 }
 
 // sendDirect transmits straight to the server, lazily maintaining one
-// direct connection.
+// direct connection. A write failure drops the cached connection and
+// retries once with a freshly resolved dial: the cached conn may point at a
+// presence shard that has since left the cluster, and a single stale
+// connection must not cost the heartbeat its fallback delivery.
 func (u *UEClient) sendDirect(hb *hbproto.Heartbeat, fallback bool) {
-	u.mu.Lock()
-	conn := u.direct
-	u.mu.Unlock()
-	if conn == nil {
-		var err error
-		conn, err = u.cfg.dial("tcp", u.cfg.ServerAddr)
-		if err != nil {
-			return
-		}
+	var conn net.Conn
+	for attempt := 0; attempt < 2; attempt++ {
 		u.mu.Lock()
-		if u.closed {
-			u.mu.Unlock()
-			_ = conn.Close()
-			return
-		}
-		u.direct = conn
+		conn = u.direct
 		u.mu.Unlock()
-		u.wg.Add(1)
-		go u.directReader(conn)
-	}
-	if err := hbproto.WriteFrame(conn, hb); err != nil {
+		if conn == nil {
+			addr := u.cfg.serverAddr()
+			if addr == "" {
+				return
+			}
+			var err error
+			conn, err = u.cfg.dial("tcp", addr)
+			if err != nil {
+				return
+			}
+			u.mu.Lock()
+			if u.closed {
+				u.mu.Unlock()
+				_ = conn.Close()
+				return
+			}
+			u.direct = conn
+			u.mu.Unlock()
+			u.wg.Add(1)
+			go u.directReader(conn)
+		}
+		if err := hbproto.WriteFrame(conn, hb); err == nil {
+			break
+		}
 		u.mu.Lock()
-		u.direct = nil
+		if u.direct == conn {
+			u.direct = nil
+		}
 		u.mu.Unlock()
 		_ = conn.Close()
-		return
+		if attempt == 1 {
+			return
+		}
 	}
 	kind := trace.KindDirectSend
 	if fallback {

@@ -7,14 +7,59 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 )
+
+// Health is a process's liveness/readiness state, served at /healthz and
+// /readyz when attached to a Handler via WithHealth. Liveness is implied by
+// answering at all; readiness starts true and flips false while the process
+// drains, so cluster launchers and CI gate restarts on it.
+type Health struct{ notReady atomic.Bool }
+
+// NewHealth returns a ready Health.
+func NewHealth() *Health { return &Health{} }
+
+// SetReady flips the readiness state (false while draining).
+func (h *Health) SetReady(ready bool) { h.notReady.Store(!ready) }
+
+// Ready reports the readiness state.
+func (h *Health) Ready() bool { return !h.notReady.Load() }
+
+// HandlerOption extends the telemetry HTTP mux.
+type HandlerOption func(mux *http.ServeMux)
+
+// WithHealth mounts /healthz (liveness: 200 whenever the process answers)
+// and /readyz (readiness: 200, or 503 while draining) for h.
+func WithHealth(h *Health) HandlerOption {
+	return func(mux *http.ServeMux) {
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			_, _ = io.WriteString(w, "ok\n")
+		})
+		mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+			if !h.Ready() {
+				http.Error(w, "draining", http.StatusServiceUnavailable)
+				return
+			}
+			_, _ = io.WriteString(w, "ready\n")
+		})
+	}
+}
+
+// WithHandler mounts an extra handler on the telemetry mux (e.g. the
+// cluster node's /cluster/* handoff endpoints).
+func WithHandler(pattern string, handler http.Handler) HandlerOption {
+	return func(mux *http.ServeMux) { mux.Handle(pattern, handler) }
+}
 
 // Handler serves a registry over HTTP:
 //
 //	/metrics        aligned text table (internal/metrics.Table)
 //	/metrics.json   typed JSON dump (the Dump schema)
 //	/debug/pprof/*  the standard net/http/pprof endpoints
-func Handler(reg *Registry) http.Handler {
+//
+// Options add routes: WithHealth mounts /healthz + /readyz, WithHandler
+// mounts arbitrary extra handlers.
+func Handler(reg *Registry, opts ...HandlerOption) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -31,6 +76,9 @@ func Handler(reg *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, opt := range opts {
+		opt(mux)
+	}
 	return mux
 }
 
@@ -42,12 +90,12 @@ type Server struct {
 
 // Serve exposes the registry on addr (use "127.0.0.1:0" for an ephemeral
 // port) until Close.
-func Serve(addr string, reg *Registry) (*Server, error) {
+func Serve(addr string, reg *Registry, opts ...HandlerOption) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen: %w", err)
 	}
-	srv := &http.Server{Handler: Handler(reg)}
+	srv := &http.Server{Handler: Handler(reg, opts...)}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{ln: ln, srv: srv}, nil
 }

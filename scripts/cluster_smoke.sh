@@ -1,0 +1,113 @@
+#!/bin/sh
+# cluster_smoke.sh — end-to-end smoke for the presence cluster: launch a
+# 3-shard d2dcluster, verify /readyz drain gating on a shard's control
+# plane, offer a trunked d2dload fleet through the router, hard-kill one
+# shard mid-run, and assert the run finishes with zero lost heartbeats
+# (every heartbeat acknowledged, directly or via the fallback resend path)
+# while the ring epoch advanced past the eviction.
+#
+# Usage: scripts/cluster_smoke.sh  (from the repo root; CI runs it as-is)
+# Env:   SMOKE_PORT  router/admin port (default 7710)
+set -eu
+
+PORT="${SMOKE_PORT:-7710}"
+ROUTER="127.0.0.1:${PORT}"
+WORK="$(mktemp -d)"
+CLUSTER_PID=""
+
+cleanup() {
+    [ -n "$CLUSTER_PID" ] && kill "$CLUSTER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "cluster_smoke: FAIL: $*" >&2
+    [ -f "$WORK/cluster.log" ] && sed 's/^/  cluster| /' "$WORK/cluster.log" >&2
+    [ -f "$WORK/load.log" ] && tail -30 "$WORK/load.log" | sed 's/^/  load| /' >&2
+    exit 1
+}
+
+# HTTP helpers on top of go so the script needs no curl/jq.
+go build -o "$WORK/" ./cmd/d2dcluster ./cmd/d2dload
+cat > "$WORK/http.go" <<'EOF'
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+)
+
+func main() {
+	method, url := os.Args[1], os.Args[2]
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	fmt.Printf("%d %s", resp.StatusCode, body)
+}
+EOF
+http() { go run "$WORK/http.go" "$1" "$2"; }
+
+echo "cluster_smoke: starting 3-shard cluster on $ROUTER"
+"$WORK/d2dcluster" -shards 3 -router "$ROUTER" -health 100ms -failures 2 -settle 300ms \
+    > "$WORK/cluster.log" 2>&1 &
+CLUSTER_PID=$!
+
+# Wait for the control plane.
+i=0
+until http GET "http://$ROUTER/admin/status" | grep -q '"epoch":1'; do
+    i=$((i + 1))
+    [ "$i" -gt 50 ] && fail "router did not come up on $ROUTER"
+    sleep 0.2
+done
+
+# Drain gating: flip a shard's draining flag through its node agent and
+# the readiness probe must go 503 (load balancers stop sending new conns),
+# then recover when the flag clears.
+SHARD0_HTTP=$(http GET "http://$ROUTER/cluster/config" |
+    sed -n 's/.*"id":"shard-0","addr":"[^"]*","http":"\([^"]*\)".*/\1/p')
+[ -n "$SHARD0_HTTP" ] || fail "could not parse shard-0 HTTP endpoint from config"
+case "$(http GET "$SHARD0_HTTP/readyz")" in 200*) ;; *) fail "shard-0 not ready at start" ;; esac
+http POST "$SHARD0_HTTP/cluster/draining?v=true" > /dev/null
+case "$(http GET "$SHARD0_HTTP/readyz")" in 503*) ;; *) fail "/readyz stayed ready while draining" ;; esac
+http POST "$SHARD0_HTTP/cluster/draining?v=false" > /dev/null
+case "$(http GET "$SHARD0_HTTP/readyz")" in 200*) ;; *) fail "/readyz did not recover after drain flag cleared" ;; esac
+echo "cluster_smoke: /readyz drain gating OK"
+
+echo "cluster_smoke: offering trunked load, killing shard-1 mid-run"
+"$WORK/d2dload" -ues 2000 -trunks 4 -relays 0 -cluster "$ROUTER" \
+    -duration 6s -speedup 200 -timeout 1s -report 0 -json "$WORK/load.json" \
+    > "$WORK/load.log" 2>&1 &
+LOAD_PID=$!
+
+sleep 2
+case "$(http POST "http://$ROUTER/admin/kill?id=shard-1")" in
+    200*) ;;
+    *) fail "admin kill rejected" ;;
+esac
+
+wait "$LOAD_PID" || fail "d2dload exited non-zero"
+
+# Assertions on the final report.
+field() { sed -n "s/.*\"$1\": \([0-9][0-9]*\).*/\1/p" "$WORK/load.json" | head -1; }
+SENT=$(field sent)
+ACKED=$(field acked)
+TIMEOUTS=$(field timeouts)
+EPOCH=$(field clusterEpoch)
+[ -n "$SENT" ] && [ "$SENT" -gt 0 ] || fail "no heartbeats sent (sent=$SENT)"
+[ -n "$ACKED" ] && [ "$ACKED" -gt 0 ] || fail "no heartbeats acked (acked=$ACKED)"
+[ "$TIMEOUTS" = 0 ] || fail "lost heartbeats across the shard kill: timeouts=$TIMEOUTS"
+[ -n "$EPOCH" ] && [ "$EPOCH" -ge 2 ] || fail "ring epoch did not advance past the eviction (epoch=$EPOCH)"
+
+echo "cluster_smoke: PASS — sent=$SENT acked=$ACKED timeouts=0 epoch=$EPOCH"
