@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-json repro examples load chaos cluster-smoke fuzz cover fmt clean
+.PHONY: all build vet lint test race bench bench-json bench-gate repro examples load chaos cluster-smoke fuzz cover fmt clean
 
 all: build vet lint test
 
@@ -36,11 +36,28 @@ bench:
 # Bench trajectory: kernel ns/event + allocs/event, scan latency at 1k/10k
 # devices, per-figure wall time and the city short preset, written to
 # BENCH_<rev>.json for revision-over-revision comparison. Use
-# CITY_PRESET=day for the 24h headline run.
+# CITY_PRESET=day for the 24h headline run. d2dbench refuses to overwrite
+# an existing (committed) baseline; pass FORCE=1 to regenerate one.
 CITY_PRESET ?= short
+BENCH_FORCE := $(if $(FORCE),-force,)
 bench-json:
-	$(GO) run ./cmd/d2dbench -json -city $(CITY_PRESET) \
+	$(GO) run ./cmd/d2dbench -json -city $(CITY_PRESET) $(BENCH_FORCE) \
 		-rev $$(git rev-parse --short HEAD 2>/dev/null || echo dev)
+
+# Bench regression gate: rerun the trajectory into .bench/ and diff it
+# against the most recently committed BENCH_*.json baseline with per-metric
+# thresholds + noise floors (internal/benchcmp). Non-zero exit on
+# regression; this is CI's bench job.
+bench-gate:
+	@base=""; \
+	for f in $$(git log --pretty=format: --name-only -- 'BENCH_*.json' | grep . ; ls -t BENCH_*.json 2>/dev/null); do \
+		if [ -f "$$f" ]; then base=$$f; break; fi; \
+	done; \
+	if [ -z "$$base" ]; then echo "bench-gate: no committed BENCH_*.json baseline"; exit 1; fi; \
+	echo "bench-gate: baseline $$base"; \
+	mkdir -p .bench; \
+	$(GO) run ./cmd/d2dbench -json -city $(CITY_PRESET) -rev ci -out .bench -force && \
+	$(GO) run ./cmd/d2dbench -diff-json .bench/diff.json -compare "$$base" .bench/BENCH_ci.json
 
 # Print every paper table/figure with paper-vs-measured comparisons.
 repro:
@@ -58,10 +75,12 @@ load:
 	$(GO) run ./cmd/d2dload -ues 1000 -relays 2 -duration 5s -speedup 200
 
 # Chaos suite: the fault-injection layer plus the real stack driven through
-# scripted failure scenarios, race-checked.
+# scripted failure scenarios, race-checked — including the rolling-restart
+# cycle over a live 3-shard cluster and the record/replay parity loop.
 chaos:
 	$(GO) test -race -count=1 -v ./internal/faultnet
 	$(GO) test -race -count=1 -v -run 'Chaos|Fallback|Backoff' ./internal/relaynet
+	$(GO) test -race -count=1 -v -run 'Chaos' ./internal/loadgen
 
 # Cluster smoke: 3-shard d2dcluster, /readyz drain gating, trunked load
 # through the router with a shard hard-killed mid-run; asserts zero lost
@@ -69,18 +88,21 @@ chaos:
 cluster-smoke:
 	scripts/cluster_smoke.sh
 
-# Coverage-guided fuzz smoke: the wire-format decoder and the event kernel
-# checked against its container/heap reference model.
+# Coverage-guided fuzz smoke: the wire-format decoder, the event kernel
+# checked against its container/heap reference model, and the trace codec
+# (decode must error or round-trip bit-identically).
 fuzz:
 	$(GO) test -fuzz=FuzzReadFrame -fuzztime=30s ./internal/hbproto
 	$(GO) test -fuzz=FuzzKernelVsHeapModel -fuzztime=30s ./internal/simtime
+	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/rec
 
 # Coverage gate: writes the module coverprofile (CI uploads coverage.out and
 # the -func summary as artifacts) and fails if a gated package drops below
 # the floor its test suite established. Floors trail the measured values
 # (sched 98.3%, relaynet 86.6%, cluster 78.2%, loadgen 80.5%) slightly so
 # unrelated churn doesn't flap the gate; raise them when the suites grow.
-COVER_FLOORS := internal/sched:95 internal/relaynet:82 internal/cluster:74 internal/loadgen:76
+# rec (94.5%) and benchcmp (98.9%) carry the ISSUE-mandated ≥85% floors.
+COVER_FLOORS := internal/sched:95 internal/relaynet:82 internal/cluster:74 internal/loadgen:76 internal/rec:90 internal/benchcmp:95
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

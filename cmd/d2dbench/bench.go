@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"time"
 
+	"d2dhb/internal/benchcmp"
 	"d2dhb/internal/d2d"
 	"d2dhb/internal/energy"
 	"d2dhb/internal/experiments"
@@ -25,55 +26,18 @@ import (
 	"d2dhb/internal/simtime"
 )
 
-// BenchReport is the BENCH_<rev>.json document.
-type BenchReport struct {
-	Revision  string       `json:"revision"`
-	Timestamp string       `json:"timestamp"`
-	GoVersion string       `json:"go_version"`
-	Kernel    KernelBench  `json:"kernel"`
-	Scans     []ScanBench  `json:"scans"`
-	Figures   []FigureTime `json:"figures"`
-	City      *CityBench   `json:"city,omitempty"`
-}
-
-// KernelBench is the event-kernel steady-state measurement.
-type KernelBench struct {
-	Events         int     `json:"events"`
-	NsPerEvent     float64 `json:"ns_per_event"`
-	EventsPerSec   float64 `json:"events_per_sec"`
-	AllocsPerEvent float64 `json:"allocs_per_event"`
-	BytesPerEvent  float64 `json:"bytes_per_event"`
-}
-
-// ScanBench is one discovery-latency measurement at a population size.
-type ScanBench struct {
-	Devices   int     `json:"devices"`
-	NsPerScan float64 `json:"ns_per_scan"`
-}
-
-// FigureTime records how long regenerating one paper figure/table took.
-type FigureTime struct {
-	Name   string  `json:"name"`
-	WallMs float64 `json:"wall_ms"`
-}
-
-// CityBench is the city-scale macro-run measurement.
-type CityBench struct {
-	Preset       string  `json:"preset"`
-	Devices      int     `json:"devices"`
-	SimSeconds   float64 `json:"sim_seconds"`
-	Events       uint64  `json:"events"`
-	WallMs       float64 `json:"wall_ms"`
-	EventsPerSec float64 `json:"events_per_sec"`
-	L3Messages   int     `json:"l3_messages"`
-	Deliveries   int     `json:"deliveries"`
-	OnTimeRate   float64 `json:"on_time_rate"`
-}
-
 // runBench executes the whole trajectory and writes BENCH_<rev>.json into
-// outDir (current directory when empty).
-func runBench(seed int64, rev, cityPreset, outDir string) error {
-	rep := BenchReport{
+// outDir (current directory when empty). An existing report for the same
+// revision is a committed baseline and is never overwritten without force.
+func runBench(seed int64, rev, cityPreset, outDir string, force bool) error {
+	path := filepath.Join(outDir, fmt.Sprintf("BENCH_%s.json", rev))
+	if !force {
+		if _, err := os.Stat(path); err == nil {
+			return fmt.Errorf("bench: %s already exists (a committed baseline?) — re-run with -force to overwrite", path)
+		}
+	}
+
+	rep := benchcmp.Report{
 		Revision:  rev,
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
@@ -114,7 +78,7 @@ func runBench(seed int64, rev, cityPreset, outDir string) error {
 		if err := f.run(); err != nil {
 			return fmt.Errorf("bench %s: %w", f.name, err)
 		}
-		rep.Figures = append(rep.Figures, FigureTime{
+		rep.Figures = append(rep.Figures, benchcmp.FigureTime{
 			Name:   f.name,
 			WallMs: float64(time.Since(start).Microseconds()) / 1000,
 		})
@@ -138,7 +102,7 @@ func runBench(seed int64, rev, cityPreset, outDir string) error {
 			return fmt.Errorf("bench city: %w", err)
 		}
 		wall := time.Since(start)
-		rep.City = &CityBench{
+		rep.City = &benchcmp.CityBench{
 			Preset:       cityPreset,
 			Devices:      stats.Devices,
 			SimSeconds:   stats.SimSeconds,
@@ -156,7 +120,6 @@ func runBench(seed int64, rev, cityPreset, outDir string) error {
 		return err
 	}
 	buf = append(buf, '\n')
-	path := filepath.Join(outDir, fmt.Sprintf("BENCH_%s.json", rev))
 	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		return err
 	}
@@ -174,10 +137,40 @@ func runBench(seed int64, rev, cityPreset, outDir string) error {
 	return nil
 }
 
+// runCompare loads two bench reports, prints the human-readable diff, and
+// fails when the new report regresses against the old baseline. A non-empty
+// diffJSON path also receives the machine-readable findings.
+func runCompare(oldPath, newPath, diffJSON string) error {
+	old, err := benchcmp.Load(oldPath)
+	if err != nil {
+		return err
+	}
+	cur, err := benchcmp.Load(newPath)
+	if err != nil {
+		return err
+	}
+	d := benchcmp.Compare(old, cur)
+	fmt.Println(d.Table())
+	if diffJSON != "" {
+		buf, err := d.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(diffJSON, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if d.Failed() {
+		return fmt.Errorf("bench regression: %d failing metric(s) vs %s", len(d.Regressions()), oldPath)
+	}
+	fmt.Printf("bench compare: pass (%s → %s, %d metrics)\n", old.Revision, cur.Revision, len(d.Findings))
+	return nil
+}
+
 // benchKernel measures the fire-and-reschedule steady state over n events
 // with a hand-rolled loop: the same workload as BenchmarkSteadyStateEvent,
 // minus the testing framework.
-func benchKernel(n int) KernelBench {
+func benchKernel(n int) benchcmp.KernelBench {
 	s := simtime.NewScheduler(1)
 	count := 0
 	var tick func()
@@ -201,7 +194,7 @@ func benchKernel(n int) KernelBench {
 	}
 	elapsed := time.Since(start)
 	runtime.ReadMemStats(&after)
-	return KernelBench{
+	return benchcmp.KernelBench{
 		Events:         n,
 		NsPerEvent:     float64(elapsed.Nanoseconds()) / float64(n),
 		EventsPerSec:   float64(n) / elapsed.Seconds(),
@@ -212,7 +205,7 @@ func benchKernel(n int) KernelBench {
 
 // benchScan measures one discovery against a population of n accepting
 // relays at constant 1-device/100 m² density, averaged over repeats.
-func benchScan(n int) ScanBench {
+func benchScan(n int) benchcmp.ScanBench {
 	s := simtime.NewScheduler(1)
 	m, err := d2d.NewMedium(s, d2d.Config{Profile: radio.WiFiDirectProfile(), Model: energy.DefaultModel()})
 	if err != nil {
@@ -242,5 +235,5 @@ func benchScan(n int) ScanBench {
 		ue.Scan()
 	}
 	elapsed := time.Since(start)
-	return ScanBench{Devices: n, NsPerScan: float64(elapsed.Nanoseconds()) / repeats}
+	return benchcmp.ScanBench{Devices: n, NsPerScan: float64(elapsed.Nanoseconds()) / repeats}
 }

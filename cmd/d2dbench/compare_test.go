@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCompareSelfPasses: a baseline compared against itself must pass the
+// gate — the committed-fixture half of the acceptance contract.
+func TestCompareSelfPasses(t *testing.T) {
+	base := filepath.Join("testdata", "bench_base.json")
+	if err := runCompare(base, base, ""); err != nil {
+		t.Fatalf("self-compare failed: %v", err)
+	}
+}
+
+// TestCompareGoldenRegressionFails: the committed regressed fixture must
+// fail the gate (this is the error path main translates to a non-zero
+// exit).
+func TestCompareGoldenRegressionFails(t *testing.T) {
+	diffPath := filepath.Join(t.TempDir(), "diff.json")
+	err := runCompare(
+		filepath.Join("testdata", "bench_base.json"),
+		filepath.Join("testdata", "bench_regressed.json"),
+		diffPath)
+	if err == nil {
+		t.Fatal("golden regression fixture passed the gate")
+	}
+	if !strings.Contains(err.Error(), "bench regression") {
+		t.Fatalf("unexpected failure: %v", err)
+	}
+	// The machine-readable diff must land and carry the verdict.
+	raw, rerr := os.ReadFile(diffPath)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	var diff struct {
+		NewRevision string `json:"new_revision"`
+		Findings    []struct {
+			Metric   string `json:"metric"`
+			Severity string `json:"severity"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(raw, &diff); err != nil {
+		t.Fatal(err)
+	}
+	if diff.NewRevision != "bad0001" {
+		t.Fatalf("diff revision %q", diff.NewRevision)
+	}
+	failed := map[string]bool{}
+	for _, f := range diff.Findings {
+		if f.Severity == "fail" {
+			failed[f.Metric] = true
+		}
+	}
+	for _, metric := range []string{
+		"kernel.ns_per_event", "kernel.allocs_per_event",
+		"scan@10000.ns_per_scan", "figure.fig8+fig9.wall_ms",
+		"city.wall_ms", "city.on_time_rate",
+	} {
+		if !failed[metric] {
+			t.Errorf("%s not flagged as regression in %v", metric, failed)
+		}
+	}
+}
+
+func TestCompareBadInputs(t *testing.T) {
+	base := filepath.Join("testdata", "bench_base.json")
+	if err := runCompare("does-not-exist.json", base, ""); err == nil {
+		t.Fatal("missing old report accepted")
+	}
+	if err := runCompare(base, "does-not-exist.json", ""); err == nil {
+		t.Fatal("missing new report accepted")
+	}
+}
+
+// TestBenchRefusesOverwrite: an existing BENCH_<rev>.json is a committed
+// baseline; only -force may replace it.
+func TestBenchRefusesOverwrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_ci.json")
+	if err := os.WriteFile(path, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := runBench(1, "ci", "none", dir, false)
+	if err == nil || !strings.Contains(err.Error(), "-force") {
+		t.Fatalf("overwrite not refused: %v", err)
+	}
+}

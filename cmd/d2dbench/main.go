@@ -6,11 +6,18 @@
 //	d2dbench [-seed N] [-csv] [-out dir]
 //	         [-only table1|fig6|fig7|table3|fig8|fig9|fig10|fig11|table4|fig12|fig13|fig15|
 //	                density|storm|battery|extension|seeds|sensitivity|delay|incentive|ablations]
-//	d2dbench -json [-rev id] [-city short|day|none] [-out dir]
+//	d2dbench -json [-rev id] [-city short|day|none] [-out dir] [-force]
+//	d2dbench [-diff-json out.json] -compare OLD.json NEW.json
 //
 // With -json the command runs the bench trajectory instead — kernel
 // steady-state cost, scan latency, per-figure wall time and the city-scale
-// macro-run — and writes BENCH_<rev>.json (see `make bench-json`).
+// macro-run — and writes BENCH_<rev>.json (see `make bench-json`). It
+// refuses to overwrite an existing report (a committed baseline) unless
+// -force is given.
+//
+// With -compare the command diffs two such reports and exits non-zero when
+// NEW regresses against OLD past the per-metric thresholds of
+// internal/benchcmp — the CI regression gate (`make bench-gate`).
 package main
 
 import (
@@ -34,8 +41,22 @@ func main() {
 		jsonMode = flag.Bool("json", false, "run the bench trajectory and write BENCH_<rev>.json")
 		rev      = flag.String("rev", "dev", "revision label for the BENCH_<rev>.json file name")
 		city     = flag.String("city", "short", "city preset for -json: short, day or none")
+		force    = flag.Bool("force", false, "with -json, overwrite an existing BENCH_<rev>.json baseline")
+		compare  = flag.Bool("compare", false, "compare two bench reports: d2dbench -compare OLD.json NEW.json")
+		diffJSON = flag.String("diff-json", "", "with -compare, also write the machine-readable diff to this file")
 	)
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: d2dbench [-diff-json out.json] -compare OLD.json NEW.json")
+			os.Exit(2)
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1), *diffJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "d2dbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "d2dbench:", err)
@@ -43,7 +64,7 @@ func main() {
 		}
 	}
 	if *jsonMode {
-		if err := runBench(*seed, *rev, strings.ToLower(*city), *out); err != nil {
+		if err := runBench(*seed, *rev, strings.ToLower(*city), *out, *force); err != nil {
 			fmt.Fprintln(os.Stderr, "d2dbench:", err)
 			os.Exit(1)
 		}

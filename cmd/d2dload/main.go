@@ -9,7 +9,16 @@
 //	        [-duration 10s] [-speedup 100] [-arrival steady|ramp|spike]
 //	        [-window 0] [-report 5s] [-timeout 0] [-capacity 0]
 //	        [-server host:port] [-cluster url] [-trunks 0] [-json path] [-fault spec]
-//	        [-telemetry host:port] [-metrics host:port]
+//	        [-telemetry host:port] [-metrics host:port] [-record trace.d2dr]
+//	d2dload -replay trace.d2dr [-server host:port] [-speedup 100] [-fault spec] [-json path]
+//
+// -record captures the run's per-heartbeat arrival timeline (sends, acks,
+// timeouts, fault windows) into a compact trace file (internal/rec).
+// -replay drives a recorded trace back through BOTH the deterministic
+// simulation (internal/experiments.ReplaySim) and the live TCP stack
+// (internal/loadgen.ReplayLive) and prints the sim-vs-real parity report:
+// delivery ratio, ack-latency quantiles and signaling counts side by side,
+// plus the trace and sim digests.
 //
 // -telemetry serves the run's own live metrics (fleet counters, latency
 // histograms and — for in-process runs — server/relay instruments) plus
@@ -36,9 +45,11 @@ import (
 	"strings"
 	"time"
 
+	"d2dhb/internal/experiments"
 	"d2dhb/internal/faultnet"
 	"d2dhb/internal/hbmsg"
 	"d2dhb/internal/loadgen"
+	"d2dhb/internal/rec"
 	"d2dhb/internal/telemetry"
 )
 
@@ -62,20 +73,73 @@ func main() {
 		fault      = flag.String("fault", "", "fault-injection spec, e.g. seed=42,latency=5ms,corrupt=0.01,partition=3s+1s")
 		telemAddr  = flag.String("telemetry", "", "serve the run's own /metrics, /metrics.json and pprof on this address")
 		metrics    = flag.String("metrics", "", "external server's telemetry address to scrape /metrics.json from")
+		record     = flag.String("record", "", "record the run's heartbeat timeline into this trace file")
+		replay     = flag.String("replay", "", "replay a recorded trace through sim + live stack and print the parity report")
 	)
 	flag.Parse()
+	if *replay != "" {
+		if err := runReplay(*replay, *server, *speedup, *fault, *jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "d2dload:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*ues, *relays, *relayRatio, *apps, *duration, *speedup,
 		*arrival, *window, *report, *timeout, *capacity, *server, *clusterA, *trunks,
-		*jsonPath, *fault, *telemAddr, *metrics); err != nil {
+		*jsonPath, *fault, *telemAddr, *metrics, *record); err != nil {
 		fmt.Fprintln(os.Stderr, "d2dload:", err)
 		os.Exit(1)
 	}
 }
 
+// runReplay is the -replay mode: one trace file in, one sim-vs-real parity
+// report out. The sim pass is fully deterministic (replaying the same file
+// twice prints the same sim digest); the live pass re-executes the same
+// timeline over real TCP.
+func runReplay(path, server string, speedup float64, fault, jsonPath string) error {
+	tl, err := rec.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	faults, err := faultnet.ParseSpec(fault)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("d2dload: replaying %s — %d clients, %d sends, digest %s\n",
+		path, len(tl.Clients), tl.Sends(), tl.Digest())
+	sim, err := experiments.ReplaySim(tl)
+	if err != nil {
+		return err
+	}
+	live, err := loadgen.ReplayLive(tl, loadgen.ReplayOptions{
+		ServerAddr: server, Speedup: speedup, Faults: faults,
+	})
+	if err != nil {
+		return err
+	}
+	rep := rec.NewParityReport(tl, tl.RecordedMetrics(), sim, live)
+	fmt.Println(rep.Table())
+	fmt.Printf("trace digest %s, sim digest %s, delivery gap %.4f\n",
+		rep.TraceDigest, rep.SimDigest, rep.DeliveryGap())
+	js, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		if err := os.WriteFile(jsonPath, append(js, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("parity report written to %s\n", jsonPath)
+	} else {
+		fmt.Printf("%s\n", js)
+	}
+	return nil
+}
+
 func run(ues, relays int, relayRatio float64, apps string, duration time.Duration,
 	speedup float64, arrival string, window, report, timeout time.Duration,
 	capacity int, server, clusterAddr string, trunks int,
-	jsonPath, fault, telemAddr, metricsAddr string) error {
+	jsonPath, fault, telemAddr, metricsAddr, recordPath string) error {
 	raiseFDLimit()
 	shape, err := loadgen.ParseArrivalShape(arrival)
 	if err != nil {
@@ -105,6 +169,11 @@ func run(ues, relays int, relayRatio float64, apps string, duration time.Duratio
 		Trunks:        trunks,
 		Faults:        faults,
 		MetricsAddr:   metricsAddr,
+	}
+	var recorder *rec.Recorder
+	if recordPath != "" {
+		recorder = rec.NewRecorder()
+		cfg.Recorder = recorder
 	}
 	if telemAddr != "" {
 		reg := telemetry.NewRegistry()
@@ -138,6 +207,17 @@ func run(ues, relays int, relayRatio float64, apps string, duration time.Duratio
 	rep, err := r.Run()
 	if err != nil {
 		return err
+	}
+	if recorder != nil {
+		tl, err := recorder.Timeline()
+		if err != nil {
+			return fmt.Errorf("record: %w", err)
+		}
+		if err := tl.WriteFile(recordPath); err != nil {
+			return fmt.Errorf("record: %w", err)
+		}
+		fmt.Printf("trace recorded to %s: %d clients, %d sends, digest %s\n",
+			recordPath, len(tl.Clients), tl.Sends(), tl.Digest())
 	}
 	fmt.Println()
 	fmt.Print(rep.String())

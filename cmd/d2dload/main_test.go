@@ -1,10 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"d2dhb/internal/loadgen"
+	"d2dhb/internal/rec"
 )
 
 func TestRunOutcome(t *testing.T) {
@@ -28,6 +33,51 @@ func TestRunOutcome(t *testing.T) {
 		case tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr):
 			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
 		}
+	}
+}
+
+// TestRecordReplayCLI exercises the full CLI loop: a short trunked run with
+// -record, then -replay of the produced trace through sim + live stack with
+// the parity report written as JSON.
+func TestRecordReplayCLI(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "run.d2dr")
+	err := run(6, 0, 0, "std", 300*time.Millisecond, 200, "steady",
+		0, 0, 0, 0, "", "", 2, "", "", "", "", trace)
+	if err != nil {
+		t.Fatalf("record run: %v", err)
+	}
+	tl, err := rec.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("trace unreadable: %v", err)
+	}
+	if tl.Sends() == 0 || len(tl.Clients) != 6 {
+		t.Fatalf("trace %d clients / %d sends", len(tl.Clients), tl.Sends())
+	}
+
+	parity := filepath.Join(dir, "parity.json")
+	if err := runReplay(trace, "", 4, "", parity); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	raw, err := os.ReadFile(parity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		TraceDigest string `json:"traceDigest"`
+		SimDigest   string `json:"simDigest"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.TraceDigest != tl.Digest() || rep.SimDigest == "" {
+		t.Fatalf("parity digests %+v vs trace %s", rep, tl.Digest())
+	}
+}
+
+func TestReplayMissingTrace(t *testing.T) {
+	if err := runReplay("no-such-trace.d2dr", "", 1, "", ""); err == nil {
+		t.Fatal("missing trace accepted")
 	}
 }
 

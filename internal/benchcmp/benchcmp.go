@@ -1,0 +1,73 @@
+// Package benchcmp defines the bench-trajectory report schema
+// (BENCH_<rev>.json, written by `d2dbench -json`) and the regression
+// comparator behind `d2dbench -compare OLD.json NEW.json`: per-metric
+// relative thresholds with absolute noise floors, so ns-scale jitter on a
+// shared CI box cannot flap the gate while a real slowdown still fails it.
+package benchcmp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Report is the BENCH_<rev>.json document.
+type Report struct {
+	Revision  string       `json:"revision"`
+	Timestamp string       `json:"timestamp"`
+	GoVersion string       `json:"go_version"`
+	Kernel    KernelBench  `json:"kernel"`
+	Scans     []ScanBench  `json:"scans"`
+	Figures   []FigureTime `json:"figures"`
+	City      *CityBench   `json:"city,omitempty"`
+}
+
+// KernelBench is the event-kernel steady-state measurement.
+type KernelBench struct {
+	Events         int     `json:"events"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+}
+
+// ScanBench is one discovery-latency measurement at a population size.
+type ScanBench struct {
+	Devices   int     `json:"devices"`
+	NsPerScan float64 `json:"ns_per_scan"`
+}
+
+// FigureTime records how long regenerating one paper figure/table took.
+type FigureTime struct {
+	Name   string  `json:"name"`
+	WallMs float64 `json:"wall_ms"`
+}
+
+// CityBench is the city-scale macro-run measurement.
+type CityBench struct {
+	Preset       string  `json:"preset"`
+	Devices      int     `json:"devices"`
+	SimSeconds   float64 `json:"sim_seconds"`
+	Events       uint64  `json:"events"`
+	WallMs       float64 `json:"wall_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	L3Messages   int     `json:"l3_messages"`
+	Deliveries   int     `json:"deliveries"`
+	OnTimeRate   float64 `json:"on_time_rate"`
+}
+
+// Load reads and parses one bench report.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchcmp: parse %s: %w", path, err)
+	}
+	if r.Revision == "" {
+		return nil, fmt.Errorf("benchcmp: %s has no revision field", path)
+	}
+	return &r, nil
+}

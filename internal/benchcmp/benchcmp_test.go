@@ -1,0 +1,287 @@
+package benchcmp
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// baseline builds a representative healthy report.
+func baseline() *Report {
+	return &Report{
+		Revision:  "aaaaaaa",
+		Timestamp: "2026-08-08T00:00:00Z",
+		GoVersion: "go1.22",
+		Kernel: KernelBench{
+			Events: 2_000_000, NsPerEvent: 20, EventsPerSec: 50e6,
+			AllocsPerEvent: 0, BytesPerEvent: 0,
+		},
+		Scans: []ScanBench{
+			{Devices: 1000, NsPerScan: 40_000},
+			{Devices: 10000, NsPerScan: 400_000},
+		},
+		Figures: []FigureTime{
+			{Name: "fig3_signaling", WallMs: 120},
+			{Name: "fig7_energy", WallMs: 340},
+		},
+		City: &CityBench{
+			Preset: "short", Devices: 20000, SimSeconds: 600,
+			Events: 1_234_567, WallMs: 900, EventsPerSec: 1.3e6,
+			L3Messages: 44_000, Deliveries: 190_000, OnTimeRate: 0.998,
+		},
+	}
+}
+
+func findingFor(t *testing.T, d *Diff, metric string) Finding {
+	t.Helper()
+	for _, f := range d.Findings {
+		if f.Metric == metric {
+			return f
+		}
+	}
+	t.Fatalf("no finding for %s in %+v", metric, d.Findings)
+	return Finding{}
+}
+
+// TestSelfComparePasses is half of the gate's acceptance contract: a report
+// compared against itself must never fail.
+func TestSelfComparePasses(t *testing.T) {
+	old := baseline()
+	d := Compare(old, baseline())
+	if d.Failed() {
+		t.Fatalf("self-compare failed: %+v", d.Regressions())
+	}
+	for _, f := range d.Findings {
+		if f.Severity != SevOK {
+			t.Fatalf("self-compare produced non-ok finding %+v", f)
+		}
+	}
+}
+
+// TestNoiseWithinFloorPasses: jitter under the absolute floors must pass
+// even when it is a large relative change (the ns-scale noise problem).
+func TestNoiseWithinFloorPasses(t *testing.T) {
+	old := baseline()
+	noisy := baseline()
+	noisy.Kernel.NsPerEvent = 34      // +70% but only +14 ns, under the 15 ns floor
+	noisy.Scans[0].NsPerScan = 62_000 // +55% but +22 µs, under the 25 µs floor
+	noisy.Figures[0].WallMs = 260     // +117% but +140 ms, under the 150 ms floor
+	noisy.City.WallMs = 1390          // +54% but +490 ms, under the 500 ms floor
+	d := Compare(old, noisy)
+	if d.Failed() {
+		t.Fatalf("floor-level noise failed the gate: %+v", d.Regressions())
+	}
+}
+
+// TestLargeAbsoluteSmallRelativePasses: a big absolute delta with a small
+// relative change is within the relative threshold and must pass.
+func TestLargeAbsoluteSmallRelativePasses(t *testing.T) {
+	old := baseline()
+	grown := baseline()
+	grown.Scans[1].NsPerScan = 500_000 // +100 µs but only +25%
+	d := Compare(old, grown)
+	if d.Failed() {
+		t.Fatalf("in-threshold growth failed the gate: %+v", d.Regressions())
+	}
+}
+
+// TestInjectedRegressionFails is the other half of the acceptance contract:
+// a genuinely regressed report must fail the gate on the right metrics.
+func TestInjectedRegressionFails(t *testing.T) {
+	old := baseline()
+	bad := baseline()
+	bad.Revision = "bbbbbbb"
+	bad.Kernel.NsPerEvent = 80    // 4× slower
+	bad.Kernel.AllocsPerEvent = 2 // zero-alloc kernel now allocates
+	bad.Scans[1].NsPerScan = 1_500_000
+	bad.Figures[1].WallMs = 1600
+	bad.City.WallMs = 4000
+	bad.City.OnTimeRate = 0.91
+
+	d := Compare(old, bad)
+	if !d.Failed() {
+		t.Fatal("injected regression passed the gate")
+	}
+	for _, metric := range []string{
+		"kernel.ns_per_event", "kernel.allocs_per_event",
+		"scan@10000.ns_per_scan", "figure.fig7_energy.wall_ms",
+		"city.wall_ms", "city.on_time_rate",
+	} {
+		if f := findingFor(t, d, metric); f.Severity != SevFail {
+			t.Errorf("%s: severity %s, want fail", metric, f.Severity)
+		}
+	}
+	// Untouched metrics must stay clean.
+	for _, metric := range []string{"kernel.bytes_per_event", "scan@1000.ns_per_scan", "figure.fig3_signaling.wall_ms"} {
+		if f := findingFor(t, d, metric); f.Severity != SevOK {
+			t.Errorf("%s: severity %s, want ok", metric, f.Severity)
+		}
+	}
+	if len(d.Regressions()) != 6 {
+		t.Fatalf("regressions %d, want 6: %+v", len(d.Regressions()), d.Regressions())
+	}
+}
+
+// TestMissingMeasurementsFail: dropping a benchmark from the suite must not
+// silently pass the gate.
+func TestMissingMeasurementsFail(t *testing.T) {
+	old := baseline()
+	gutted := baseline()
+	gutted.Scans = gutted.Scans[:1]
+	gutted.Figures = gutted.Figures[1:]
+	gutted.City = nil
+	d := Compare(old, gutted)
+	if !d.Failed() {
+		t.Fatal("gutted report passed")
+	}
+	for _, metric := range []string{"scan@10000.ns_per_scan", "figure.fig3_signaling.wall_ms", "city.wall_ms"} {
+		f := findingFor(t, d, metric)
+		if f.Severity != SevFail || !strings.Contains(f.Note, "missing") {
+			t.Errorf("%s: %+v, want missing-measurement failure", metric, f)
+		}
+	}
+}
+
+// TestNewMeasurementsAreInfo: measurements only the new report has are
+// informational, never failures.
+func TestNewMeasurementsAreInfo(t *testing.T) {
+	old := baseline()
+	old.Scans = old.Scans[:1]
+	old.Figures = old.Figures[:1]
+	old.City = nil
+	grown := baseline()
+	d := Compare(old, grown)
+	if d.Failed() {
+		t.Fatalf("added measurements failed the gate: %+v", d.Regressions())
+	}
+	for _, metric := range []string{"scan@10000.ns_per_scan", "figure.fig7_energy.wall_ms", "city.wall_ms"} {
+		if f := findingFor(t, d, metric); f.Severity != SevInfo {
+			t.Errorf("%s: severity %s, want info", metric, f.Severity)
+		}
+	}
+}
+
+// TestDeterministicCountersAreInfo: the seeded macro-run's counters
+// changing is a behavior diff to surface, not a perf failure — but the
+// on-time rate improving must stay ok.
+func TestDeterministicCountersAreInfo(t *testing.T) {
+	old := baseline()
+	changed := baseline()
+	changed.City.L3Messages = 43_000
+	changed.City.OnTimeRate = 0.999
+	d := Compare(old, changed)
+	if d.Failed() {
+		t.Fatalf("counter drift failed the gate: %+v", d.Regressions())
+	}
+	if f := findingFor(t, d, "city.l3_messages"); f.Severity != SevInfo {
+		t.Fatalf("l3 drift severity %s, want info", f.Severity)
+	}
+	if f := findingFor(t, d, "city.on_time_rate"); f.Severity != SevOK {
+		t.Fatalf("on-time improvement severity %s, want ok", f.Severity)
+	}
+}
+
+// TestCityPresetChangeSkipsComparison: comparing different presets would be
+// meaningless, so the comparator flags and skips instead.
+func TestCityPresetChangeSkipsComparison(t *testing.T) {
+	old := baseline()
+	changed := baseline()
+	changed.City.Preset = "metro"
+	changed.City.WallMs = 90_000
+	d := Compare(old, changed)
+	if d.Failed() {
+		t.Fatalf("preset change failed the gate: %+v", d.Regressions())
+	}
+	f := findingFor(t, d, "city.preset")
+	if f.Severity != SevInfo || !strings.Contains(f.Note, "preset changed") {
+		t.Fatalf("preset finding %+v", f)
+	}
+}
+
+func TestRuleExceeded(t *testing.T) {
+	r := rule{rel: 1.0, floor: 10}
+	cases := []struct {
+		old, new float64
+		want     bool
+	}{
+		{100, 100, false},
+		{100, 150, false}, // +50% rel, under threshold
+		{100, 109, false}, // under floor
+		{5, 14, false},    // +180% rel but +9 under floor
+		{100, 211, true},  // past both
+		{0, 5, false},     // from zero, under floor
+		{0, 11, true},     // from zero, past floor
+		{200, 100, false}, // improvement
+	}
+	for _, c := range cases {
+		if got := r.exceeded(c.old, c.new); got != c.want {
+			t.Errorf("exceeded(%v, %v) = %v, want %v", c.old, c.new, got, c.want)
+		}
+	}
+}
+
+func TestDiffOutputs(t *testing.T) {
+	old := baseline()
+	bad := baseline()
+	bad.Revision = "bbbbbbb"
+	bad.Kernel.NsPerEvent = 80
+	d := Compare(old, bad)
+
+	table := d.Table().String()
+	for _, want := range []string{"aaaaaaa", "bbbbbbb", "kernel.ns_per_event", "fail (regression)", "+300.0"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+
+	raw, err := d.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Diff
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Failed() || back.NewRevision != "bbbbbbb" {
+		t.Fatalf("JSON round-trip lost the verdict: %+v", back)
+	}
+}
+
+func TestLoad(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "BENCH_good.json")
+	raw, err := json.Marshal(baseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(good, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Revision != "aaaaaaa" || len(r.Scans) != 2 || r.City == nil {
+		t.Fatalf("loaded %+v", r)
+	}
+
+	if _, err := Load(filepath.Join(dir, "absent.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	garbage := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(garbage, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(garbage); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	norev := filepath.Join(dir, "norev.json")
+	if err := os.WriteFile(norev, []byte(`{"kernel":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(norev); err == nil {
+		t.Fatal("revision-less report accepted")
+	}
+}

@@ -1,0 +1,265 @@
+package benchcmp
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"d2dhb/internal/metrics"
+)
+
+// Severity classifies one comparison finding.
+type Severity string
+
+// Finding severities. Only SevFail fails the gate.
+const (
+	SevOK   Severity = "ok"
+	SevInfo Severity = "info"
+	SevFail Severity = "fail"
+)
+
+// Finding is one metric's old-vs-new verdict.
+type Finding struct {
+	Metric    string   `json:"metric"`
+	Old       float64  `json:"old"`
+	New       float64  `json:"new"`
+	RelChange float64  `json:"rel_change"`          // (new-old)/old; 0 when old == 0
+	Threshold float64  `json:"threshold,omitempty"` // allowed relative growth
+	Floor     float64  `json:"floor,omitempty"`     // absolute noise floor
+	Severity  Severity `json:"severity"`
+	Note      string   `json:"note,omitempty"`
+}
+
+// Diff is the full comparison outcome.
+type Diff struct {
+	OldRevision string    `json:"old_revision"`
+	NewRevision string    `json:"new_revision"`
+	Findings    []Finding `json:"findings"`
+}
+
+// Failed reports whether any finding fails the gate.
+func (d *Diff) Failed() bool {
+	for _, f := range d.Findings {
+		if f.Severity == SevFail {
+			return true
+		}
+	}
+	return false
+}
+
+// Regressions returns the failing findings.
+func (d *Diff) Regressions() []Finding {
+	var out []Finding
+	for _, f := range d.Findings {
+		if f.Severity == SevFail {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// JSON renders the diff as indented JSON.
+func (d *Diff) JSON() ([]byte, error) {
+	return json.MarshalIndent(d, "", "  ")
+}
+
+// Table renders the human-readable comparison.
+func (d *Diff) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("bench compare %s → %s", d.OldRevision, d.NewRevision),
+		"metric", "old", "new", "Δ%", "verdict")
+	for _, f := range d.Findings {
+		verdict := string(f.Severity)
+		if f.Note != "" {
+			verdict += " (" + f.Note + ")"
+		}
+		t.AddRow(f.Metric,
+			fmt.Sprintf("%.2f", f.Old),
+			fmt.Sprintf("%.2f", f.New),
+			fmt.Sprintf("%+.1f", f.RelChange*100),
+			verdict)
+	}
+	return t
+}
+
+// rule is one wall-clock metric's tolerance: a regression needs BOTH a
+// relative growth beyond rel AND an absolute growth beyond floor. The
+// floor absorbs scheduler jitter on tiny timings (the committed trajectory
+// shows the kernel drifting 14.9 → 26.7 ns/event between otherwise
+// identical runs); the relative bound catches real slowdowns on anything
+// big enough to measure.
+type rule struct {
+	rel   float64
+	floor float64
+}
+
+// Tolerances per metric family. Wall-clock numbers on shared CI boxes are
+// noisy, so these are deliberately loose: the gate is for order-of-
+// magnitude regressions (an accidental O(n²), a lost fast path), not for
+// ±20% scheduling noise.
+var (
+	ruleKernelNs    = rule{rel: 1.2, floor: 15}     // ns/event
+	ruleKernelAlloc = rule{rel: 0, floor: 0.5}      // allocs/event: zero-alloc kernel must stay zero-alloc
+	ruleKernelBytes = rule{rel: 2.0, floor: 64}     // bytes/event
+	ruleScanNs      = rule{rel: 1.5, floor: 25_000} // ns/scan (25 µs)
+	ruleFigureMs    = rule{rel: 2.0, floor: 150}    // ms/figure
+	ruleCityMs      = rule{rel: 2.0, floor: 500}    // ms city macro-run
+	cityOnTimeDrop  = 0.01                          // absolute on-time-rate drop that fails
+)
+
+// exceeded reports whether new regresses past the rule relative to old.
+func (r rule) exceeded(old, new float64) bool {
+	if new-old <= r.floor {
+		return false
+	}
+	if old <= 0 {
+		return true
+	}
+	return new > old*(1+r.rel)
+}
+
+// relChange computes (new-old)/old, zero when old is 0.
+func relChange(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old
+}
+
+// compareMetric appends one rule-checked wall-clock finding.
+func (d *Diff) compareMetric(name string, old, new float64, r rule) {
+	f := Finding{
+		Metric: name, Old: old, New: new,
+		RelChange: relChange(old, new),
+		Threshold: r.rel, Floor: r.floor,
+		Severity: SevOK,
+	}
+	if r.exceeded(old, new) {
+		f.Severity = SevFail
+		f.Note = "regression"
+	}
+	d.Findings = append(d.Findings, f)
+}
+
+// Compare evaluates new against the old baseline.
+func Compare(old, new *Report) *Diff {
+	d := &Diff{OldRevision: old.Revision, NewRevision: new.Revision}
+
+	d.compareMetric("kernel.ns_per_event", old.Kernel.NsPerEvent, new.Kernel.NsPerEvent, ruleKernelNs)
+	d.compareMetric("kernel.allocs_per_event", old.Kernel.AllocsPerEvent, new.Kernel.AllocsPerEvent, ruleKernelAlloc)
+	d.compareMetric("kernel.bytes_per_event", old.Kernel.BytesPerEvent, new.Kernel.BytesPerEvent, ruleKernelBytes)
+
+	newScans := make(map[int]float64, len(new.Scans))
+	for _, s := range new.Scans {
+		newScans[s.Devices] = s.NsPerScan
+	}
+	for _, s := range old.Scans {
+		name := fmt.Sprintf("scan@%d.ns_per_scan", s.Devices)
+		ns, ok := newScans[s.Devices]
+		if !ok {
+			d.Findings = append(d.Findings, Finding{
+				Metric: name, Old: s.NsPerScan,
+				Severity: SevFail, Note: "measurement missing from new report",
+			})
+			continue
+		}
+		d.compareMetric(name, s.NsPerScan, ns, ruleScanNs)
+		delete(newScans, s.Devices)
+	}
+	for _, s := range new.Scans {
+		if _, stillNew := newScans[s.Devices]; stillNew {
+			d.Findings = append(d.Findings, Finding{
+				Metric: fmt.Sprintf("scan@%d.ns_per_scan", s.Devices), New: s.NsPerScan,
+				Severity: SevInfo, Note: "new measurement",
+			})
+		}
+	}
+
+	newFigs := make(map[string]float64, len(new.Figures))
+	for _, f := range new.Figures {
+		newFigs[f.Name] = f.WallMs
+	}
+	for _, f := range old.Figures {
+		name := "figure." + f.Name + ".wall_ms"
+		ms, ok := newFigs[f.Name]
+		if !ok {
+			d.Findings = append(d.Findings, Finding{
+				Metric: name, Old: f.WallMs,
+				Severity: SevFail, Note: "figure missing from new report",
+			})
+			continue
+		}
+		d.compareMetric(name, f.WallMs, ms, ruleFigureMs)
+		delete(newFigs, f.Name)
+	}
+	for _, f := range new.Figures {
+		if _, stillNew := newFigs[f.Name]; stillNew {
+			d.Findings = append(d.Findings, Finding{
+				Metric:   "figure." + f.Name + ".wall_ms",
+				New:      f.WallMs,
+				Severity: SevInfo, Note: "new figure",
+			})
+		}
+	}
+
+	d.compareCity(old.City, new.City)
+	return d
+}
+
+// compareCity handles the optional city macro-run block.
+func (d *Diff) compareCity(old, new *CityBench) {
+	switch {
+	case old == nil && new == nil:
+		return
+	case old == nil:
+		d.Findings = append(d.Findings, Finding{
+			Metric: "city.wall_ms", New: new.WallMs,
+			Severity: SevInfo, Note: "new measurement",
+		})
+		return
+	case new == nil:
+		d.Findings = append(d.Findings, Finding{
+			Metric: "city.wall_ms", Old: old.WallMs,
+			Severity: SevFail, Note: "city run missing from new report",
+		})
+		return
+	}
+	if !strings.EqualFold(old.Preset, new.Preset) || old.Devices != new.Devices {
+		d.Findings = append(d.Findings, Finding{
+			Metric:   "city.preset",
+			Severity: SevInfo,
+			Note:     fmt.Sprintf("preset changed %s/%d → %s/%d; skipping wall comparison", old.Preset, old.Devices, new.Preset, new.Devices),
+		})
+		return
+	}
+	d.compareMetric("city.wall_ms", old.WallMs, new.WallMs, ruleCityMs)
+	// The macro-run is seeded and deterministic: its simulation outcomes
+	// must not drift at all. A change is a behavior difference worth
+	// eyeballing (it may be an intended model change), not a perf
+	// regression, so it reports as info — but a correctness drop in the
+	// on-time rate fails.
+	for _, c := range []struct {
+		name     string
+		old, new float64
+	}{
+		{"city.events", float64(old.Events), float64(new.Events)},
+		{"city.l3_messages", float64(old.L3Messages), float64(new.L3Messages)},
+		{"city.deliveries", float64(old.Deliveries), float64(new.Deliveries)},
+	} {
+		f := Finding{Metric: c.name, Old: c.old, New: c.new, RelChange: relChange(c.old, c.new), Severity: SevOK}
+		if c.old != c.new {
+			f.Severity = SevInfo
+			f.Note = "deterministic counter changed (behavior diff)"
+		}
+		d.Findings = append(d.Findings, f)
+	}
+	f := Finding{
+		Metric: "city.on_time_rate", Old: old.OnTimeRate, New: new.OnTimeRate,
+		RelChange: relChange(old.OnTimeRate, new.OnTimeRate), Severity: SevOK,
+	}
+	if old.OnTimeRate-new.OnTimeRate > cityOnTimeDrop {
+		f.Severity = SevFail
+		f.Note = "on-time delivery rate dropped"
+	}
+	d.Findings = append(d.Findings, f)
+}

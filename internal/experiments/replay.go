@@ -1,0 +1,254 @@
+package experiments
+
+// Trace replay on the simulated substrate. ReplaySim drives a recorded
+// arrival timeline (internal/rec) through the discrete-event scheduler:
+// every recorded send becomes a virtual arrival at its recorded offset,
+// direct clients get their own RRC machine, and relay/trunk groups get an
+// Algorithm 1 scheduler plus a shared RRC machine. The run is
+// single-threaded virtual time seeded from the trace, so two replays of
+// the same trace produce bit-identical metrics — the digest is a
+// regression key.
+
+import (
+	"fmt"
+	"time"
+
+	"d2dhb/internal/hbmsg"
+	"d2dhb/internal/rec"
+	"d2dhb/internal/rrc"
+	"d2dhb/internal/sched"
+	"d2dhb/internal/simtime"
+)
+
+// replayBaseSize is the modeled wire size of one replayed heartbeat before
+// padding (the paper's standard 54 B keep-alive).
+const replayBaseSize = 54
+
+// simGroup is one relay/trunk aggregation point in the replay: an
+// Algorithm 1 policy, the shared modem it flushes through, and the armed
+// deadline timer.
+type simGroup struct {
+	policy *sched.Nagle
+	modem  *rrc.Machine
+	timer  *simtime.Timer
+}
+
+// replayState carries the accumulating outcome across arrival callbacks.
+type replayState struct {
+	clock   *simtime.Scheduler
+	tl      *rec.Timeline
+	groups  map[int]*simGroup
+	direct  map[int]*rrc.Machine
+	metrics rec.Metrics
+	lat     *rec.Sample
+	err     error
+}
+
+// ReplaySim replays the recorded timeline through the simulator and
+// returns its deterministic outcome metrics.
+func ReplaySim(tl *rec.Timeline) (rec.Metrics, error) {
+	if tl == nil {
+		return rec.Metrics{}, fmt.Errorf("experiments: nil timeline")
+	}
+	if err := tl.Validate(); err != nil {
+		return rec.Metrics{}, err
+	}
+	st := &replayState{
+		clock:  simtime.NewScheduler(tl.Seed),
+		tl:     tl,
+		groups: make(map[int]*simGroup),
+		direct: make(map[int]*rrc.Machine),
+		lat:    rec.NewSample(),
+	}
+	st.metrics.Source = "sim"
+
+	rrcCfg := rrc.DefaultConfig()
+	for i, c := range tl.Clients {
+		if c.Relay < 0 {
+			m, err := rrc.NewMachine(st.clock, rrcCfg)
+			if err != nil {
+				return rec.Metrics{}, err
+			}
+			st.direct[i] = m
+			continue
+		}
+		if _, ok := st.groups[c.Relay]; ok {
+			continue
+		}
+		if tl.RelayPeriod <= 0 || tl.RelayCapacity <= 0 {
+			return rec.Metrics{}, fmt.Errorf("experiments: trace has relay clients but relay period %v / capacity %d",
+				tl.RelayPeriod, tl.RelayCapacity)
+		}
+		pol, err := sched.NewNagle(tl.RelayCapacity, tl.RelayPeriod)
+		if err != nil {
+			return rec.Metrics{}, err
+		}
+		modem, err := rrc.NewMachine(st.clock, rrcCfg)
+		if err != nil {
+			return rec.Metrics{}, err
+		}
+		st.groups[c.Relay] = &simGroup{policy: pol, modem: modem}
+	}
+
+	// Chain through the event stream with a single cursor timer instead of
+	// pre-loading one timer per event: traces can hold millions of events.
+	sends := make([]rec.Event, 0, len(tl.Events))
+	for _, e := range tl.Events {
+		if e.Kind == rec.EvSend {
+			sends = append(sends, e)
+		}
+	}
+	var schedule func(i int)
+	schedule = func(i int) {
+		if i >= len(sends) || st.err != nil {
+			return
+		}
+		_, err := st.clock.At(sends[i].At, func() {
+			st.arrive(sends[i])
+			schedule(i + 1)
+		})
+		if err != nil {
+			st.err = err
+		}
+	}
+	schedule(0)
+
+	// Run past the last arrival far enough for every deadline flush and
+	// RRC release tail to land.
+	horizon := tl.Horizon() + tl.RelayPeriod + rrcCfg.InactivityTail + time.Second
+	if err := st.clock.RunUntil(horizon); err != nil {
+		return rec.Metrics{}, err
+	}
+	if st.err != nil {
+		return rec.Metrics{}, st.err
+	}
+
+	// Drain whatever is still pending at the horizon, then close every
+	// modem so connected-time and release signaling are final.
+	for _, g := range st.groups {
+		st.flush(g)
+		g.modem.ForceRelease()
+	}
+	for _, m := range st.direct {
+		m.ForceRelease()
+	}
+	for _, g := range st.groups {
+		c := g.modem.Counters()
+		st.metrics.Signaling.L3Messages += uint64(c.L3Messages)
+	}
+	for _, m := range st.direct {
+		c := m.Counters()
+		st.metrics.Signaling.L3Messages += uint64(c.L3Messages)
+	}
+
+	st.metrics.AckLatency = st.lat.Quantiles()
+	st.metrics.Finish()
+	return st.metrics, nil
+}
+
+// arrive processes one recorded send at its virtual instant.
+func (st *replayState) arrive(e rec.Event) {
+	if st.err != nil {
+		return
+	}
+	c := st.tl.Clients[e.Client]
+	now := st.clock.Now()
+	st.metrics.Sent++
+
+	if m, ok := st.direct[e.Client]; ok {
+		// Direct path: one uplink transaction per heartbeat, latency is the
+		// modeled zero (the sim has no network delay on its own uplink).
+		if err := m.Send(replayBaseSize + c.Pad); err != nil {
+			st.err = err
+			return
+		}
+		st.metrics.Delivered++
+		st.metrics.Signaling.Uplinks++
+		st.lat.Add(0)
+		return
+	}
+
+	g := st.groups[c.Relay]
+	if !g.policy.Accepting() && g.policy.Pending() == 0 {
+		g.policy.StartPeriod(now)
+	}
+	expiry := c.Expiry
+	if expiry <= 0 {
+		expiry = c.Period
+	}
+	hb := hbmsg.Heartbeat{
+		App:    c.App,
+		Src:    hbmsg.DeviceID(c.ID),
+		Seq:    e.Seq,
+		Origin: now,
+		Expiry: expiry,
+		Size:   replayBaseSize + c.Pad,
+	}
+	flushNow, err := g.policy.Collect(hb, now)
+	if err != nil {
+		// ErrExpired can only mean a non-positive effective expiry; write
+		// the heartbeat off like the live stack would.
+		st.metrics.Timeouts++
+		st.metrics.Expired++
+		return
+	}
+	if flushNow {
+		st.flush(g)
+		return
+	}
+	st.armDeadline(g)
+}
+
+// armDeadline (re)schedules the group's pending-batch deadline flush.
+func (st *replayState) armDeadline(g *simGroup) {
+	if st.err != nil {
+		return
+	}
+	at, ok := g.policy.Deadline()
+	if !ok {
+		return
+	}
+	if g.timer != nil {
+		st.clock.Stop(g.timer)
+	}
+	t, err := st.clock.At(at, func() {
+		g.timer = nil
+		st.flush(g)
+	})
+	if err != nil {
+		st.err = err
+		return
+	}
+	g.timer = t
+}
+
+// flush sends the group's pending batch through its modem and credits the
+// delivered heartbeats.
+func (st *replayState) flush(g *simGroup) {
+	if st.err != nil {
+		return
+	}
+	if g.timer != nil {
+		st.clock.Stop(g.timer)
+		g.timer = nil
+	}
+	now := st.clock.Now()
+	batch := g.policy.Flush(now)
+	if len(batch) == 0 {
+		return
+	}
+	payload := replayBaseSize // the relay's own heartbeat rides along
+	for _, hb := range batch {
+		payload += hb.Size
+	}
+	if err := g.modem.Send(payload); err != nil {
+		st.err = err
+		return
+	}
+	st.metrics.Signaling.Uplinks++
+	st.metrics.Signaling.Batches++
+	for _, hb := range batch {
+		st.metrics.Delivered++
+		st.lat.Add(float64(now-hb.Origin) / float64(time.Millisecond))
+	}
+}

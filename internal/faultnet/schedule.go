@@ -127,6 +127,9 @@ func (s *Schedule) Start() {
 	}
 }
 
+// Seed returns the seed driving the schedule's probabilistic draws.
+func (s *Schedule) Seed() int64 { return s.seed }
+
 // Windows returns a copy of the schedule's window script.
 func (s *Schedule) Windows() []Window {
 	s.mu.Lock()

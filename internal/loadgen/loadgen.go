@@ -12,6 +12,7 @@ import (
 	"d2dhb/internal/faultnet"
 	"d2dhb/internal/hbmsg"
 	"d2dhb/internal/hbproto"
+	"d2dhb/internal/rec"
 	"d2dhb/internal/relaynet"
 	"d2dhb/internal/telemetry"
 	"d2dhb/internal/trace"
@@ -82,6 +83,10 @@ type Config struct {
 	// passed to its -telemetry flag). When set, every report scrapes
 	// /metrics.json there and embeds the server-side dump.
 	MetricsAddr string
+	// Recorder, when non-nil, captures the run's per-heartbeat timeline
+	// (client table, fault windows, send/ack/timeout events) for later
+	// deterministic replay. All hooks are nil-safe no-ops otherwise.
+	Recorder *rec.Recorder
 }
 
 func (c Config) validate() error {
@@ -320,6 +325,17 @@ func (r *Runner) Run() (Report, error) {
 	genDone := make(chan struct{})
 	var sendWg sync.WaitGroup
 	start := time.Now()
+	// Pin the trace and fault timelines to the same instant so recorded
+	// fault-window offsets line up with recorded event offsets.
+	if f := r.cfg.Faults; f != nil {
+		f.Start()
+		r.cfg.Recorder.Start(start, f.Seed())
+		for _, w := range f.Windows() {
+			r.cfg.Recorder.AddFault(rec.FaultWindow{Kind: string(w.Fault.Kind), From: w.From, To: w.To})
+		}
+	} else {
+		r.cfg.Recorder.Start(start, 0)
+	}
 	window := r.arrivalWindow()
 	sched := Schedule{Shape: r.cfg.Arrival.Shape, Window: window}
 	for i, u := range r.units {
@@ -409,6 +425,7 @@ func (r *Runner) startRelays() error {
 		perRelay := (r.relayedUEs + r.cfg.Relays - 1) / r.cfg.Relays
 		capacity = perRelay*4 + 16
 	}
+	r.cfg.Recorder.SetRelay(r.minPeriod, capacity)
 	var dial func(network, addr string) (net.Conn, error)
 	if r.cfg.Faults != nil {
 		dial = r.cfg.Faults.Dial
@@ -475,7 +492,18 @@ func (r *Runner) buildFleet() {
 			pending: make(map[uint64]int64),
 			dial:    net.Dial,
 			readers: &r.readers,
+			trec:    r.cfg.Recorder,
 		}
+		relayIdx := -1
+		path := rec.PathDirect
+		if relayed {
+			relayIdx = i % len(r.relays)
+			path = rec.PathRelayed
+		}
+		u.tidx = r.cfg.Recorder.AddClient(rec.Client{
+			ID: u.id, App: u.app, Period: u.period, Expiry: u.expiry,
+			Pad: u.pad, Path: path, Relay: relayIdx,
+		})
 		if r.cfg.Faults != nil {
 			u.dial = r.cfg.Faults.Dial
 		}
@@ -542,13 +570,28 @@ func (r *Runner) buildTrunks() {
 		if r.cfg.Faults != nil {
 			t.dial = r.cfg.Faults.Dial
 		}
+		t.trec = r.cfg.Recorder
+		t.trecIdx = make([]int, count)
 		for i := 0; i < count; i++ {
 			id := fmt.Sprintf("loadue-%07d", next)
 			next++
 			t.users[i] = tuser{id: id}
 			t.index[id] = i
+			t.trecIdx[i] = r.cfg.Recorder.AddClient(rec.Client{
+				ID: id, App: t.app, Period: t.period, Expiry: t.expiry,
+				Pad: t.pad, Path: rec.PathTrunked, Relay: ti,
+			})
 		}
 		r.units = append(r.units, t)
+	}
+	// A trunk flushes one batch per tick, so its Algorithm 1 analog is a
+	// period-long window with the largest trunk's user count as capacity.
+	if len(r.units) > 0 {
+		maxUsers := base
+		if rem > 0 {
+			maxUsers++
+		}
+		r.cfg.Recorder.SetRelay(r.minPeriod, maxUsers)
 	}
 }
 
@@ -601,6 +644,8 @@ type vue struct {
 	relayed bool
 	timeout time.Duration
 	rec     *Recorder
+	trec    *rec.Recorder // trace recorder; nil-safe
+	tidx    int           // this UE's trace client index (-1 when unrecorded)
 	c       *fleetCounters
 	dial    func(network, addr string) (net.Conn, error)
 	readers *sync.WaitGroup
@@ -680,6 +725,7 @@ func (u *vue) tick() {
 	} else {
 		u.c.sentDirect.Add(1)
 	}
+	u.trec.Record(rec.EvSend, u.tidx, seq, now)
 }
 
 // ensureConn returns the live connection, dialing (and for relayed UEs
@@ -758,7 +804,8 @@ func (u *vue) reader(conn net.Conn) {
 		default:
 			continue
 		}
-		now := time.Now().UnixNano()
+		ackAt := time.Now()
+		now := ackAt.UnixNano()
 		u.mu.Lock()
 		for _, ref := range refs {
 			if ref.Src != u.id {
@@ -774,6 +821,7 @@ func (u *vue) reader(conn net.Conn) {
 			}
 			latUS := uint64(now-at) / 1000
 			u.rec.Record(latUS)
+			u.trec.Record(rec.EvAck, u.tidx, ref.Seq, ackAt)
 			if u.relayed {
 				u.c.ackedRelayed.Add(1)
 			} else {
@@ -817,6 +865,7 @@ func (u *vue) sweep(now time.Time) {
 		} else {
 			u.c.timeoutDirect.Add(1)
 		}
+		u.trec.Record(rec.EvTimeout, u.tidx, seq, now)
 	}
 	u.mu.Unlock()
 	for _, seq := range resend {
@@ -897,6 +946,7 @@ func (u *vue) pendingCount() int {
 
 // expireAll writes off every remaining pending send (end-of-run drain).
 func (u *vue) expireAll() {
+	now := time.Now()
 	u.mu.Lock()
 	for seq := range u.pending {
 		delete(u.pending, seq)
@@ -908,6 +958,7 @@ func (u *vue) expireAll() {
 		} else {
 			u.c.timeoutDirect.Add(1)
 		}
+		u.trec.Record(rec.EvTimeout, u.tidx, seq, now)
 	}
 	u.mu.Unlock()
 }

@@ -1,0 +1,398 @@
+package loadgen
+
+// Live trace replay: ReplayLive drives a recorded timeline (internal/rec)
+// through the real TCP stack. Direct clients replay over their own
+// connections exactly like vues; relayed and trunked clients replay
+// through one trunk connection per recorded relay group, with consecutive
+// sends coalesced into Batch frames by their *recorded* gaps — so the
+// batching structure is a deterministic function of the trace even though
+// wall-clock latencies are not. The same trace file replayed through
+// experiments.ReplaySim gives the sim column of the parity report; this
+// gives the live column.
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"d2dhb/internal/faultnet"
+	"d2dhb/internal/hbproto"
+	"d2dhb/internal/rec"
+	"d2dhb/internal/relaynet"
+)
+
+// ReplayOptions parameterizes one live replay.
+type ReplayOptions struct {
+	// ServerAddr targets an existing presence server. Empty spawns an
+	// in-process relaynet.Server on loopback.
+	ServerAddr string
+	// Speedup divides recorded offsets so long recordings replay quickly.
+	// Zero means 1.
+	Speedup float64
+	// AckTimeout bounds the post-send drain wait. Zero selects 2 s.
+	AckTimeout time.Duration
+	// Coalesce folds consecutive same-group sends whose *recorded* gap is
+	// at most this into one Batch frame. Zero selects 2 ms. The decision
+	// uses recorded instants, never the wall clock, so two replays of the
+	// same trace always build the same frames.
+	Coalesce time.Duration
+	// Faults re-injects a fault schedule into every replay dial. Nil
+	// replays over a clean network.
+	Faults *faultnet.Schedule
+}
+
+// replayKey identifies one in-flight replayed heartbeat.
+type replayKey struct {
+	id  string
+	seq uint64
+}
+
+// replayUnit is one connection's worth of replayed clients: a single
+// direct client, or every client of one relay/trunk group.
+type replayUnit struct {
+	group   int // -1 for a direct unit
+	relayID string
+	sends   []rec.Event
+}
+
+// liveReplay is the shared state of one ReplayLive run.
+type liveReplay struct {
+	tl    *rec.Timeline
+	opts  ReplayOptions
+	addr  string
+	start time.Time
+
+	mu        sync.Mutex
+	pending   map[replayKey]time.Time
+	lat       *rec.Sample
+	delivered uint64
+	uplinks   uint64
+	batches   uint64
+	werrs     uint64
+	conns     []net.Conn
+
+	readers sync.WaitGroup
+}
+
+// ReplayLive replays the recorded timeline against the live stack and
+// returns the measured outcome.
+func ReplayLive(tl *rec.Timeline, opts ReplayOptions) (rec.Metrics, error) {
+	if tl == nil {
+		return rec.Metrics{}, fmt.Errorf("loadgen: nil timeline")
+	}
+	if err := tl.Validate(); err != nil {
+		return rec.Metrics{}, err
+	}
+	if opts.Speedup <= 0 {
+		opts.Speedup = 1
+	}
+	if opts.AckTimeout <= 0 {
+		opts.AckTimeout = 2 * time.Second
+	}
+	if opts.Coalesce <= 0 {
+		opts.Coalesce = 2 * time.Millisecond
+	}
+
+	r := &liveReplay{
+		tl:      tl,
+		opts:    opts,
+		pending: make(map[replayKey]time.Time),
+		lat:     rec.NewSample(),
+	}
+
+	var server *relaynet.Server
+	r.addr = opts.ServerAddr
+	if r.addr == "" {
+		server = relaynet.NewServer()
+		if err := server.Start("127.0.0.1:0"); err != nil {
+			return rec.Metrics{}, err
+		}
+		defer server.Shutdown()
+		r.addr = server.Addr()
+	}
+
+	// Split the send timeline into per-connection units, preserving order.
+	direct := make(map[int]*replayUnit)
+	groups := make(map[int]*replayUnit)
+	for _, e := range tl.Events {
+		if e.Kind != rec.EvSend {
+			continue
+		}
+		c := tl.Clients[e.Client]
+		var u *replayUnit
+		if c.Relay < 0 {
+			if u = direct[e.Client]; u == nil {
+				u = &replayUnit{group: -1}
+				direct[e.Client] = u
+			}
+		} else {
+			if u = groups[c.Relay]; u == nil {
+				u = &replayUnit{group: c.Relay, relayID: fmt.Sprintf("replay-trunk-%04d", c.Relay)}
+				groups[c.Relay] = u
+			}
+		}
+		u.sends = append(u.sends, e)
+	}
+	units := make([]*replayUnit, 0, len(direct)+len(groups))
+	for _, u := range direct {
+		units = append(units, u)
+	}
+	for _, u := range groups {
+		units = append(units, u)
+	}
+	// Map iteration order is random; fix the spawn order so runs are
+	// structurally identical.
+	sort.Slice(units, func(i, j int) bool {
+		if units[i].group != units[j].group {
+			return units[i].group < units[j].group
+		}
+		return units[i].sends[0].Client < units[j].sends[0].Client
+	})
+
+	var sendWg sync.WaitGroup
+	r.start = time.Now()
+	if opts.Faults != nil {
+		opts.Faults.Start()
+	}
+	for _, u := range units {
+		sendWg.Add(1)
+		go func(u *replayUnit) {
+			defer sendWg.Done()
+			r.runUnit(u)
+		}(u)
+	}
+	sendWg.Wait()
+
+	// Drain: give in-flight acks one timeout window to land.
+	deadline := time.Now().Add(opts.AckTimeout)
+	for time.Now().Before(deadline) {
+		r.mu.Lock()
+		n := len(r.pending)
+		r.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	r.mu.Lock()
+	conns := r.conns
+	r.conns = nil
+	r.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	r.readers.Wait()
+
+	m := rec.Metrics{Source: "live"}
+	r.mu.Lock()
+	m.Sent = uint64(len(r.pending)) + r.delivered + r.werrs
+	m.Delivered = r.delivered
+	m.Timeouts = uint64(len(r.pending)) + r.werrs
+	m.AckLatency = r.lat.Quantiles()
+	m.Signaling.Uplinks = r.uplinks
+	m.Signaling.Batches = r.batches
+	r.mu.Unlock()
+	m.Finish()
+	return m, nil
+}
+
+// pace sleeps until the recorded offset's replay instant.
+func (r *liveReplay) pace(at time.Duration) {
+	target := r.start.Add(time.Duration(float64(at) / r.opts.Speedup))
+	if d := time.Until(target); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// dial opens the unit's server connection, optionally through the fault
+// schedule, and starts its ack reader.
+func (r *liveReplay) dial(register *hbproto.Register) net.Conn {
+	dial := net.Dial
+	if r.opts.Faults != nil {
+		dial = r.opts.Faults.Dial
+	}
+	conn, err := dial("tcp", r.addr)
+	if err != nil {
+		return nil
+	}
+	if register != nil {
+		if err := hbproto.WriteFrame(conn, register); err != nil {
+			_ = conn.Close()
+			return nil
+		}
+	}
+	r.readers.Add(1)
+	go r.reader(conn)
+	return conn
+}
+
+// runUnit replays one connection's send subsequence.
+func (r *liveReplay) runUnit(u *replayUnit) {
+	if u.group < 0 {
+		r.runDirect(u)
+		return
+	}
+	r.runTrunk(u)
+}
+
+// runDirect replays a direct client: one heartbeat frame per recorded
+// send, paced to the recorded offsets.
+func (r *liveReplay) runDirect(u *replayUnit) {
+	c := r.tl.Clients[u.sends[0].Client]
+	conn := r.dial(nil)
+	for _, e := range u.sends {
+		r.pace(e.At)
+		if conn == nil {
+			conn = r.dial(nil)
+		}
+		if conn == nil {
+			r.noteWriteError(1)
+			continue
+		}
+		now := time.Now()
+		hb := &hbproto.Heartbeat{
+			Src: c.ID, Seq: e.Seq, App: c.App,
+			Origin: now, Expiry: c.Expiry, Pad: c.Pad,
+		}
+		r.track(replayKey{c.ID, e.Seq}, now)
+		if err := hbproto.WriteFrame(conn, hb); err != nil {
+			r.untrack(replayKey{c.ID, e.Seq})
+			r.noteWriteError(1)
+			_ = conn.Close()
+			conn = nil
+			continue
+		}
+		r.noteUplink(false)
+	}
+	if conn != nil {
+		r.keep(conn)
+	}
+}
+
+// runTrunk replays one relay/trunk group: consecutive sends within the
+// recorded coalesce window become one Batch frame, written at the last
+// member's offset — exactly the aggregation the group performed live.
+func (r *liveReplay) runTrunk(u *replayUnit) {
+	conn := r.dial(&hbproto.Register{
+		ID: u.relayID, Role: hbproto.RoleRelay, App: "replay",
+		Period: r.tl.RelayPeriod, Expiry: r.tl.RelayPeriod,
+	})
+	for i := 0; i < len(u.sends); {
+		// The batch is [i, j): recorded gaps ≤ Coalesce, bounded by the
+		// trace's relay capacity when one is recorded.
+		j := i + 1
+		for j < len(u.sends) && u.sends[j].At-u.sends[j-1].At <= r.opts.Coalesce {
+			if r.tl.RelayCapacity > 0 && j-i >= r.tl.RelayCapacity {
+				break
+			}
+			j++
+		}
+		r.pace(u.sends[j-1].At)
+		if conn == nil {
+			conn = r.dial(&hbproto.Register{
+				ID: u.relayID, Role: hbproto.RoleRelay, App: "replay",
+				Period: r.tl.RelayPeriod, Expiry: r.tl.RelayPeriod,
+			})
+		}
+		if conn == nil {
+			r.noteWriteError(j - i)
+			i = j
+			continue
+		}
+		now := time.Now()
+		b := &hbproto.Batch{Relay: u.relayID, HBs: make([]hbproto.Heartbeat, 0, j-i)}
+		for _, e := range u.sends[i:j] {
+			c := r.tl.Clients[e.Client]
+			b.HBs = append(b.HBs, hbproto.Heartbeat{
+				Src: c.ID, Seq: e.Seq, App: c.App,
+				Origin: now, Expiry: c.Expiry, Pad: c.Pad,
+			})
+			r.track(replayKey{c.ID, e.Seq}, now)
+		}
+		if err := hbproto.WriteFrame(conn, b); err != nil {
+			for _, e := range u.sends[i:j] {
+				r.untrack(replayKey{r.tl.Clients[e.Client].ID, e.Seq})
+			}
+			r.noteWriteError(j - i)
+			_ = conn.Close()
+			conn = nil
+			i = j
+			continue
+		}
+		r.noteUplink(true)
+		i = j
+	}
+	if conn != nil {
+		r.keep(conn)
+	}
+}
+
+// keep parks a finished unit's connection so the drain phase can still
+// collect its acks; ReplayLive closes it after the drain.
+func (r *liveReplay) keep(conn net.Conn) {
+	r.mu.Lock()
+	r.conns = append(r.conns, conn)
+	r.mu.Unlock()
+}
+
+func (r *liveReplay) track(k replayKey, at time.Time) {
+	r.mu.Lock()
+	r.pending[k] = at
+	r.mu.Unlock()
+}
+
+func (r *liveReplay) untrack(k replayKey) {
+	r.mu.Lock()
+	delete(r.pending, k)
+	r.mu.Unlock()
+}
+
+func (r *liveReplay) noteWriteError(n int) {
+	r.mu.Lock()
+	r.werrs += uint64(n)
+	r.mu.Unlock()
+}
+
+func (r *liveReplay) noteUplink(batch bool) {
+	r.mu.Lock()
+	r.uplinks++
+	if batch {
+		r.batches++
+	}
+	r.mu.Unlock()
+}
+
+// reader consumes acks/feedback and settles pending heartbeats.
+func (r *liveReplay) reader(conn net.Conn) {
+	defer r.readers.Done()
+	for {
+		msg, err := hbproto.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		var refs []hbproto.Ref
+		switch m := msg.(type) {
+		case *hbproto.Ack:
+			refs = m.Refs
+		case *hbproto.Feedback:
+			refs = m.Refs
+		default:
+			continue
+		}
+		now := time.Now()
+		r.mu.Lock()
+		for _, ref := range refs {
+			k := replayKey{ref.Src, ref.Seq}
+			at, ok := r.pending[k]
+			if !ok {
+				continue
+			}
+			delete(r.pending, k)
+			r.delivered++
+			r.lat.Add(float64(now.Sub(at)) / float64(time.Millisecond))
+		}
+		r.mu.Unlock()
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"d2dhb/internal/cluster"
 	"d2dhb/internal/hbproto"
+	"d2dhb/internal/rec"
 )
 
 // maxTrunkBatch caps heartbeats per Batch frame: hbproto bounds frames at
@@ -45,6 +46,8 @@ type trunk struct {
 	pad     int
 	timeout time.Duration
 	rec     *Recorder
+	trec    *rec.Recorder // trace recorder; nil-safe
+	trecIdx []int         // per-user trace client indices (immutable after build)
 	c       *fleetCounters
 	dial    func(network, addr string) (net.Conn, error)
 	cluster *cluster.Client // nil targets addr directly
@@ -164,11 +167,23 @@ func (t *trunk) sendShard(shard string, refs []hbref, now time.Time, fallback bo
 			t.c.fallbackResends.Add(uint64(len(chunk)))
 		} else {
 			t.c.sentRelayed.Add(uint64(len(chunk)))
+			for _, ref := range chunk {
+				t.trec.Record(rec.EvSend, t.recIdx(ref.idx), ref.seq, now)
+			}
 		}
 		if shard != "" {
 			t.shards.add(shard, uint64(len(chunk)))
 		}
 	}
+}
+
+// recIdx maps a user index to its trace client index (-1 when the trunk
+// was built without a recorder).
+func (t *trunk) recIdx(i int) int {
+	if i < 0 || i >= len(t.trecIdx) {
+		return -1
+	}
+	return t.trecIdx[i]
 }
 
 // abandon handles heartbeats that never hit the wire. With fallback
@@ -208,6 +223,7 @@ func (t *trunk) collectExpired(now time.Time) []hbref {
 			delete(t.fellBack, ref)
 		}
 		t.c.timeoutRelayed.Add(1)
+		t.trec.Record(rec.EvTimeout, t.recIdx(ref.idx), ref.seq, now)
 	}
 	t.mu.Unlock()
 	return resend
@@ -297,7 +313,8 @@ func (t *trunk) reader(shard string, conn net.Conn) {
 		if !ok {
 			continue
 		}
-		now := time.Now().UnixNano()
+		ackAt := time.Now()
+		now := ackAt.UnixNano()
 		t.mu.Lock()
 		for _, ref := range ack.Refs {
 			i, ok := t.index[ref.Src]
@@ -314,6 +331,7 @@ func (t *trunk) reader(shard string, conn net.Conn) {
 				delete(t.fellBack, key)
 			}
 			t.rec.Record(uint64(now-at) / 1000)
+			t.trec.Record(rec.EvAck, t.recIdx(i), ref.Seq, ackAt)
 			t.c.ackedRelayed.Add(1)
 			if ref.Seq <= t.users[i].last {
 				t.c.outOfOrderAcks.Add(1)
@@ -335,8 +353,12 @@ func (t *trunk) pendingCount() int {
 // expireAll writes off every remaining pending heartbeat (end-of-run
 // drain).
 func (t *trunk) expireAll() {
+	now := time.Now()
 	t.mu.Lock()
 	n := len(t.pending)
+	for ref := range t.pending {
+		t.trec.Record(rec.EvTimeout, t.recIdx(ref.idx), ref.seq, now)
+	}
 	t.pending = make(map[hbref]int64)
 	if t.fellBack != nil {
 		t.fellBack = make(map[hbref]bool)

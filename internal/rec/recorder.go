@@ -1,0 +1,159 @@
+package rec
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+)
+
+// Recorder collects one run's timeline from concurrently-running clients.
+// All methods are safe on a nil receiver (no-ops), so call sites hook it
+// unconditionally, telemetry-style. Events are buffered in memory and
+// sorted once at snapshot time: senders on many goroutines observe wall
+// instants slightly out of order, and the canonical trace order is by
+// instant, not by lock-acquisition order.
+type Recorder struct {
+	mu      sync.Mutex
+	start   time.Time
+	seed    int64
+	period  time.Duration
+	cap     int
+	clients []Client
+	faults  []FaultWindow
+	events  []Event
+}
+
+// NewRecorder returns an empty recorder. Call Start before recording
+// events.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Start pins t=0 of the timeline to now and stores the run seed. A second
+// call is ignored, so the recorder can be armed defensively.
+func (r *Recorder) Start(now time.Time, seed int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.start.IsZero() {
+		r.start = now
+		r.seed = seed
+	}
+}
+
+// SetRelay records the relay groups' Algorithm 1 parameters (period T,
+// capacity M) so replays can rebuild their schedulers.
+func (r *Recorder) SetRelay(period time.Duration, capacity int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.period, r.cap = period, capacity
+	r.mu.Unlock()
+}
+
+// AddClient appends one client-table row and returns its index, or -1 on a
+// nil recorder.
+func (r *Recorder) AddClient(c Client) int {
+	if r == nil {
+		return -1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clients = append(r.clients, c)
+	return len(r.clients) - 1
+}
+
+// AddFault appends one fault-window marker (times relative to Start).
+func (r *Recorder) AddFault(w FaultWindow) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.faults = append(r.faults, w)
+	r.mu.Unlock()
+}
+
+// Record appends one event for the given client index at wall instant at.
+// Events before Start or with a negative client index are dropped.
+func (r *Recorder) Record(kind EventKind, client int, seq uint64, at time.Time) {
+	if r == nil || client < 0 {
+		return
+	}
+	r.mu.Lock()
+	if !r.start.IsZero() && !at.Before(r.start) {
+		r.events = append(r.events, Event{At: at.Sub(r.start), Kind: kind, Client: client, Seq: seq})
+	}
+	r.mu.Unlock()
+}
+
+// Timeline snapshots the recording into a canonical (sorted, validated)
+// trace. The recorder stays usable afterwards.
+func (r *Recorder) Timeline() (*Timeline, error) {
+	if r == nil {
+		return nil, fmt.Errorf("rec: nil recorder")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.start.IsZero() {
+		return nil, fmt.Errorf("rec: recorder never started")
+	}
+	tl := &Timeline{
+		Seed:          r.seed,
+		BaseUnixNano:  r.start.UnixNano(),
+		RelayPeriod:   r.period,
+		RelayCapacity: r.cap,
+		Clients:       slices.Clone(r.clients),
+		Faults:        slices.Clone(r.faults),
+		Events:        slices.Clone(r.events),
+	}
+	slices.SortFunc(tl.Events, func(a, b Event) int {
+		switch {
+		case a.At != b.At:
+			if a.At < b.At {
+				return -1
+			}
+			return 1
+		case a.Client != b.Client:
+			return a.Client - b.Client
+		case a.Seq != b.Seq:
+			if a.Seq < b.Seq {
+				return -1
+			}
+			return 1
+		default:
+			return int(a.Kind) - int(b.Kind)
+		}
+	})
+	slices.SortFunc(tl.Faults, func(a, b FaultWindow) int {
+		switch {
+		case a.From != b.From:
+			if a.From < b.From {
+				return -1
+			}
+			return 1
+		default:
+			if a.Kind < b.Kind {
+				return -1
+			} else if a.Kind > b.Kind {
+				return 1
+			}
+			return 0
+		}
+	})
+	if err := tl.Validate(); err != nil {
+		return nil, err
+	}
+	return tl, nil
+}
+
+// Events reports how many events have been recorded so far.
+func (r *Recorder) Events() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
