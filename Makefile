@@ -14,14 +14,16 @@ vet:
 	$(GO) vet ./...
 
 # Full static-analysis gate: go vet, gofmt cleanliness, and the project
-# suite (cmd/d2dvet) enforcing determinism, lock/IO hygiene and
-# wire-protocol invariants.
+# suite (cmd/d2dvet) enforcing determinism, lock/IO hygiene, concurrency
+# shutdown/leak discipline and wire-protocol invariants. -unused-allows
+# also fails the build on stale //lint:allow directives, so suppressions
+# cannot outlive the finding they justified.
 lint: vet
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
-	$(GO) run ./cmd/d2dvet ./...
+	$(GO) run ./cmd/d2dvet -unused-allows ./...
 
 test:
 	$(GO) test ./...
@@ -101,8 +103,9 @@ fuzz:
 # the floor its test suite established. Floors trail the measured values
 # (sched 98.3%, relaynet 86.6%, cluster 78.2%, loadgen 80.5%) slightly so
 # unrelated churn doesn't flap the gate; raise them when the suites grow.
-# rec (94.5%) and benchcmp (98.9%) carry the ISSUE-mandated ≥85% floors.
-COVER_FLOORS := internal/sched:95 internal/relaynet:82 internal/cluster:74 internal/loadgen:76 internal/rec:90 internal/benchcmp:95
+# rec (94.5%), benchcmp (98.9%) and lint (89.6%) carry the ISSUE-mandated
+# ≥85% floors.
+COVER_FLOORS := internal/sched:95 internal/relaynet:82 internal/cluster:74 internal/loadgen:76 internal/rec:90 internal/benchcmp:95 internal/lint:85
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

@@ -10,7 +10,7 @@
 //	        [-window 0] [-report 5s] [-timeout 0] [-capacity 0]
 //	        [-server host:port] [-cluster url] [-trunks 0] [-json path] [-fault spec]
 //	        [-telemetry host:port] [-metrics host:port] [-record trace.d2dr]
-//	d2dload -replay trace.d2dr [-server host:port] [-speedup 100] [-fault spec] [-json path]
+//	d2dload -replay trace.d2dr [-server host:port | -cluster url] [-speedup 100] [-fault spec] [-json path]
 //
 // -record captures the run's per-heartbeat arrival timeline (sends, acks,
 // timeouts, fault windows) into a compact trace file (internal/rec).
@@ -78,7 +78,7 @@ func main() {
 	)
 	flag.Parse()
 	if *replay != "" {
-		if err := runReplay(*replay, *server, *speedup, *fault, *jsonPath); err != nil {
+		if err := runReplay(*replay, *server, *clusterA, *speedup, *fault, *jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "d2dload:", err)
 			os.Exit(1)
 		}
@@ -95,8 +95,9 @@ func main() {
 // runReplay is the -replay mode: one trace file in, one sim-vs-real parity
 // report out. The sim pass is fully deterministic (replaying the same file
 // twice prints the same sim digest); the live pass re-executes the same
-// timeline over real TCP.
-func runReplay(path, server string, speedup float64, fault, jsonPath string) error {
+// timeline over real TCP — against one server, or against a cluster router
+// URL with per-shard routing resolved through the epoch config.
+func runReplay(path, server, clusterAddr string, speedup float64, fault, jsonPath string) error {
 	tl, err := rec.ReadFile(path)
 	if err != nil {
 		return err
@@ -107,12 +108,15 @@ func runReplay(path, server string, speedup float64, fault, jsonPath string) err
 	}
 	fmt.Printf("d2dload: replaying %s — %d clients, %d sends, digest %s\n",
 		path, len(tl.Clients), tl.Sends(), tl.Digest())
+	if clusterAddr != "" {
+		fmt.Printf("d2dload: replay cluster target %s\n", clusterAddr)
+	}
 	sim, err := experiments.ReplaySim(tl)
 	if err != nil {
 		return err
 	}
 	live, err := loadgen.ReplayLive(tl, loadgen.ReplayOptions{
-		ServerAddr: server, Speedup: speedup, Faults: faults,
+		ServerAddr: server, ClusterAddr: clusterAddr, Speedup: speedup, Faults: faults,
 	})
 	if err != nil {
 		return err

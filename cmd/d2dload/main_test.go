@@ -56,7 +56,7 @@ func TestRecordReplayCLI(t *testing.T) {
 	}
 
 	parity := filepath.Join(dir, "parity.json")
-	if err := runReplay(trace, "", 4, "", parity); err != nil {
+	if err := runReplay(trace, "", "", 4, "", parity); err != nil {
 		t.Fatalf("replay: %v", err)
 	}
 	raw, err := os.ReadFile(parity)
@@ -76,7 +76,7 @@ func TestRecordReplayCLI(t *testing.T) {
 }
 
 func TestReplayMissingTrace(t *testing.T) {
-	if err := runReplay("no-such-trace.d2dr", "", 1, "", ""); err == nil {
+	if err := runReplay("no-such-trace.d2dr", "", "", 1, "", ""); err == nil {
 		t.Fatal("missing trace accepted")
 	}
 }

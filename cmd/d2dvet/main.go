@@ -2,11 +2,13 @@
 // patterns and reports invariant violations the compiler cannot see:
 // wall-clock reads in simulation-clocked packages, unseeded global
 // randomness, blocking calls under a held mutex, dropped network-layer
-// errors, and ad-hoc trace event kinds.
+// errors, ad-hoc trace event kinds, map iteration feeding ordered sinks,
+// shutdown-less goroutines in stoppable types, mixed atomic/plain field
+// access, and leaked tickers/timers.
 //
 // Usage:
 //
-//	d2dvet [-list] [packages]
+//	d2dvet [-list] [-json|-github] [-sarif file] [-unused-allows] [packages]
 //
 // Patterns default to ./... . Exit status is 0 when clean, 1 when any
 // finding survives suppression, 2 on a driver error.
@@ -22,8 +24,12 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and their invariants, then exit")
+	jsonOut := flag.Bool("json", false, "print findings as a JSON array instead of text")
+	github := flag.Bool("github", false, "print findings as GitHub ::error workflow annotations")
+	sarifPath := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to this `file`")
+	unusedAllows := flag.Bool("unused-allows", false, "report stale //lint:allow directives that no longer suppress anything")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: d2dvet [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: d2dvet [-list] [-json|-github] [-sarif file] [-unused-allows] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Runs the project static-analysis suite (default pattern ./...).\n")
 		flag.PrintDefaults()
 	}
@@ -34,6 +40,9 @@ func main() {
 			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *jsonOut && *github {
+		fatal(fmt.Errorf("-json and -github are mutually exclusive"))
 	}
 
 	patterns := flag.Args()
@@ -49,12 +58,38 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	findings, err := loader.Run(lint.DefaultConfig(loader.ModulePath), patterns)
+	cfg := lint.DefaultConfig(loader.ModulePath)
+	cfg.ReportUnusedAllows = *unusedAllows
+	findings, err := loader.Run(cfg, patterns)
 	if err != nil {
 		fatal(err)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+
+	if *sarifPath != "" {
+		f, err := os.Create(*sarifPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := lint.EncodeSARIF(f, findings); err != nil {
+			_ = f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	switch {
+	case *jsonOut:
+		if err := lint.EncodeJSON(os.Stdout, findings); err != nil {
+			fatal(err)
+		}
+	case *github:
+		lint.EncodeGitHub(os.Stdout, findings)
+	default:
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "d2dvet: %d finding(s)\n", len(findings))

@@ -118,6 +118,27 @@ func (r *Ring) Group(keys []string) map[string][]int {
 	return out
 }
 
+// ShardGroup is one shard's slice of a partitioned batch: the owning
+// shard and the indices of the keys it owns, in input order.
+type ShardGroup struct {
+	Shard string
+	Idxs  []int
+}
+
+// GroupSorted is Group with a deterministic iteration order: the groups
+// come back sorted by shard ID. Order-sensitive callers — anything that
+// records trace events or emits per-shard output while walking the
+// partition — use this so two runs over the same keys behave identically.
+func (r *Ring) GroupSorted(keys []string) []ShardGroup {
+	m := r.Group(keys)
+	out := make([]ShardGroup, 0, len(m))
+	for id, idxs := range m {
+		out = append(out, ShardGroup{Shard: id, Idxs: idxs})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Shard < out[j].Shard })
+	return out
+}
+
 // hash64 is FNV-1a followed by a murmur3-style finalizer, inlined so
 // ownership never depends on a hash seed or process state: the same bytes
 // map to the same shard in every process. The finalizer matters: raw FNV-1a

@@ -142,6 +142,50 @@ func TestRingGroupMatchesOwner(t *testing.T) {
 	}
 }
 
+// TestRingGroupSortedDeterministic pins the ordered batch partition: the
+// slice form must agree with Group, come back sorted by shard ID, and be
+// byte-identical across calls — it is what keeps trunk fanout and replay
+// routing deterministic per seed (maporder's fix for ranging over Group).
+func TestRingGroupSortedDeterministic(t *testing.T) {
+	r := mustRing(t, []string{"c", "a", "b"}, 64)
+	ks := keys(500)
+	groups := r.GroupSorted(ks)
+	plain := r.Group(ks)
+	if len(groups) != len(plain) {
+		t.Fatalf("GroupSorted has %d shards, Group has %d", len(groups), len(plain))
+	}
+	total := 0
+	for i, g := range groups {
+		if i > 0 && groups[i-1].Shard >= g.Shard {
+			t.Fatalf("groups not sorted: %s before %s", groups[i-1].Shard, g.Shard)
+		}
+		want := plain[g.Shard]
+		if len(g.Idxs) != len(want) {
+			t.Fatalf("shard %s: GroupSorted has %d keys, Group has %d", g.Shard, len(g.Idxs), len(want))
+		}
+		total += len(g.Idxs)
+		for _, idx := range g.Idxs {
+			if own := r.Owner(ks[idx]); own != g.Shard {
+				t.Fatalf("GroupSorted put %s under %s, Owner says %s", ks[idx], g.Shard, own)
+			}
+		}
+	}
+	if total != len(ks) {
+		t.Fatalf("GroupSorted covered %d of %d keys", total, len(ks))
+	}
+	again := r.GroupSorted(ks)
+	for i := range groups {
+		if groups[i].Shard != again[i].Shard || len(groups[i].Idxs) != len(again[i].Idxs) {
+			t.Fatalf("GroupSorted not stable across calls at group %d", i)
+		}
+		for j := range groups[i].Idxs {
+			if groups[i].Idxs[j] != again[i].Idxs[j] {
+				t.Fatalf("GroupSorted shard %s index order changed across calls", groups[i].Shard)
+			}
+		}
+	}
+}
+
 // TestRingValidation covers the constructor's error paths.
 func TestRingValidation(t *testing.T) {
 	if _, err := NewRing(nil, 0); err == nil {

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomicmix forbids mixing sync/atomic and plain access on one field.
+//
+// A field updated through atomic.AddUint64(&s.n, 1) but read as s.n
+// elsewhere is a data race the moment two goroutines touch it, and the
+// race detector only catches the schedules it happens to see. The typed
+// atomics (atomic.Uint64 et al.) make the mix impossible by construction
+// — the project standard — so the analyzer only fires on the old-style
+// pointer API: any field whose address is passed to a sync/atomic
+// function must never appear in a plain selector anywhere in the
+// package.
+var Atomicmix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a struct field accessed through sync/atomic must not also be read or written plainly",
+	Run:  runAtomicmix,
+}
+
+func runAtomicmix(p *Pass) {
+	// Pass 1: fields whose address feeds a sync/atomic call, and the
+	// selector nodes inside those calls (exempt from pass 2).
+	atomicFields := make(map[*types.Var]token.Pos)
+	inAtomicCall := make(map[*ast.SelectorExpr]bool)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(p.Pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, a := range call.Args {
+				ue, ok := ast.Unparen(a).(*ast.UnaryExpr)
+				if !ok || ue.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fv, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Var); ok && fv.IsField() {
+					if _, seen := atomicFields[fv]; !seen {
+						atomicFields[fv] = sel.Pos()
+					}
+					inAtomicCall[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	// Pass 2: every plain selector on one of those fields.
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || inAtomicCall[sel] {
+				return true
+			}
+			fv, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Var)
+			if !ok || !fv.IsField() {
+				return true
+			}
+			atPos, ok := atomicFields[fv]
+			if !ok {
+				return true
+			}
+			at := p.Pkg.Fset.Position(atPos)
+			p.Reportf(sel.Sel.Pos(), "field %s is accessed through sync/atomic (line %d) but read/written plainly here — that is a data race; use the atomic API on every access, or a typed atomic.%s", fv.Name(), at.Line, typedAtomicFor(fv.Type()))
+			return true
+		})
+	}
+}
+
+// typedAtomicFor suggests the typed replacement for a field type.
+func typedAtomicFor(t types.Type) string {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Int64:
+			return "Int64"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64:
+			return "Uint64"
+		case types.Uintptr:
+			return "Uintptr"
+		case types.Bool:
+			return "Bool"
+		}
+	}
+	if _, ok := t.Underlying().(*types.Pointer); ok {
+		return "Pointer"
+	}
+	return "Value"
+}

@@ -17,6 +17,10 @@ type AnalyzerConfig struct {
 	// ExtraBlocking (lockheld only) names additional functions treated as
 	// blocking, as "import/path.Func" or "import/path.Type.Method".
 	ExtraBlocking []string
+	// ExtraOrdered (maporder only) names additional functions treated as
+	// order-sensitive sinks, in the same "import/path.Func" or
+	// "import/path.Type.Method" form.
+	ExtraOrdered []string
 }
 
 // appliesToPackage reports whether the analyzer covers the import path.
@@ -61,6 +65,10 @@ type Config struct {
 	// ByAnalyzer maps analyzer name → configuration. A missing entry
 	// means "all packages, no allowances".
 	ByAnalyzer map[string]AnalyzerConfig
+	// ReportUnusedAllows audits the suppressions themselves: every
+	// well-formed //lint:allow that suppressed nothing in the run becomes
+	// a finding (d2dvet -unused-allows; CI runs with this on).
+	ReportUnusedAllows bool
 }
 
 // For returns the configuration for an analyzer name.

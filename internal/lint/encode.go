@@ -1,0 +1,156 @@
+package lint
+
+// Finding encoders for the d2dvet CLI: machine-readable JSON, SARIF 2.1.0
+// for code-scanning upload, and GitHub workflow annotations for inline PR
+// review. All three render the same Finding list the text mode prints.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// jsonFinding is the -json wire form of one finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column,omitempty"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// EncodeJSON writes the findings as a JSON array (never null: an empty
+// run encodes as []).
+func EncodeJSON(w io.Writer, findings []Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File: f.Pos.Filename, Line: f.Pos.Line, Column: f.Pos.Column,
+			Analyzer: f.Analyzer, Message: f.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// sarif* model the minimal SARIF 2.1.0 subset code-scanning consumes: one
+// run, one driver, one rule per analyzer, one result per finding.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// EncodeSARIF writes the findings as a SARIF 2.1.0 log. The rule table
+// lists every suite analyzer plus the driver's own "lint" rule (malformed
+// or stale //lint:allow directives), so rule metadata resolves even for
+// findings that did not fire.
+func EncodeSARIF(w io.Writer, findings []Finding) error {
+	rules := make([]sarifRule, 0, len(Analyzers)+1)
+	for _, a := range Analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	rules = append(rules, sarifRule{
+		ID:               "lint",
+		ShortDescription: sarifMessage{Text: "suppression hygiene: //lint:allow directives need a reason and must still suppress something"},
+	})
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: strings.ReplaceAll(f.Pos.Filename, "\\", "/")},
+				Region:           sarifRegion{StartLine: f.Pos.Line, StartColumn: f.Pos.Column},
+			}}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "d2dvet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// githubEscape applies the workflow-command escaping rules: % first, then
+// line breaks (and, for property values, the property separators).
+func githubEscape(s string, property bool) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	if property {
+		s = strings.ReplaceAll(s, ",", "%2C")
+		s = strings.ReplaceAll(s, ":", "%3A")
+	}
+	return s
+}
+
+// EncodeGitHub writes one ::error workflow command per finding, so the
+// CI lint job annotates the offending lines inline in the PR diff.
+func EncodeGitHub(w io.Writer, findings []Finding) {
+	for _, f := range findings {
+		fmt.Fprintf(w, "::error file=%s,line=%d,title=%s::%s\n",
+			githubEscape(strings.ReplaceAll(f.Pos.Filename, "\\", "/"), true),
+			f.Pos.Line,
+			githubEscape("d2dvet/"+f.Analyzer, true),
+			githubEscape(f.Message, false))
+	}
+}

@@ -5,7 +5,14 @@
 // *rand.Rand (rawrand), no blocking network/channel operation may run
 // while a mutex is held (lockheld), network-layer error returns from
 // Close/Flush/Write must not be silently dropped (closecheck), and trace
-// event kinds must be package-level constants (tracekey).
+// event kinds must be package-level constants (tracekey). The second
+// generation guards the parallel-kernel work: map iteration must not feed
+// order-sensitive sinks — trace events, trace recordings, report tables,
+// digests — without an intervening sort (maporder), goroutines spawned by
+// stoppable types need a shutdown edge (goroleak), a field touched through
+// sync/atomic must never also be accessed plainly (atomicmix), and every
+// Ticker/Timer needs a reachable Stop while time.After stays out of loops
+// (tickerstop).
 //
 // The driver is stdlib-only: packages are parsed with go/parser and
 // checked with go/types; external dependencies resolve through compiled
@@ -54,7 +61,10 @@ type Analyzer struct {
 }
 
 // Analyzers is the full suite, in output order.
-var Analyzers = []*Analyzer{Walltime, Rawrand, Lockheld, Closecheck, Tracekey}
+var Analyzers = []*Analyzer{
+	Walltime, Rawrand, Lockheld, Closecheck, Tracekey,
+	Maporder, Goroleak, Atomicmix, Tickerstop,
+}
 
 // Pass is one (analyzer, package) unit of work.
 type Pass struct {
@@ -115,7 +125,11 @@ func (l *Loader) analyze(cfg *Config, roots []*Package) []Finding {
 			})
 		}
 	}
-	findings = applySuppressions(findings, roots)
+	ds := collectDirectives(roots)
+	findings = ds.applySuppressions(findings)
+	if cfg.ReportUnusedAllows {
+		findings = append(findings, ds.staleFindings()...)
+	}
 	findings = dedupe(findings)
 	for i := range findings {
 		if rel, err := filepath.Rel(l.ModuleDir, findings[i].Pos.Filename); err == nil && !filepath.IsAbs(rel) {

@@ -25,9 +25,11 @@ var Lockheld = &Analyzer{
 }
 
 // shared carries per-run memoized state: the blocking-function fixed
-// point is computed once per run, over every loaded module package.
+// point (lockheld) and the ordered-sink fixed point (maporder) are each
+// computed once per run, over every loaded module package.
 type shared struct {
 	blocking map[*types.Func]string
+	ordered  map[*types.Func]string
 }
 
 // netIfaces resolves net.Conn and net.Listener from the loaded package

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"go/token"
 	"strings"
 )
 
@@ -17,6 +18,8 @@ const allowPrefix = "//lint:allow"
 type directive struct {
 	names  []string
 	reason string
+	pos    token.Position
+	used   bool
 }
 
 // covers reports whether the directive suppresses the analyzer.
@@ -29,11 +32,17 @@ func (d *directive) covers(analyzer string) bool {
 	return false
 }
 
-// applySuppressions removes findings covered by a //lint:allow directive
-// and appends a finding for every malformed (reason-less) directive.
-func applySuppressions(findings []Finding, pkgs []*Package) []Finding {
-	byLine := make(map[string]map[int][]*directive)
-	var malformed []Finding
+// directiveSet indexes every well-formed //lint:allow in a package set by
+// file and line, and carries one finding per malformed directive.
+type directiveSet struct {
+	byLine    map[string]map[int][]*directive
+	all       []*directive
+	malformed []Finding
+}
+
+// collectDirectives parses every //lint:allow comment in the packages.
+func collectDirectives(pkgs []*Package) *directiveSet {
+	ds := &directiveSet{byLine: make(map[string]map[int][]*directive)}
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
@@ -44,7 +53,7 @@ func applySuppressions(findings []Finding, pkgs []*Package) []Finding {
 					pos := pkg.Fset.Position(c.Pos())
 					fields := strings.Fields(strings.TrimPrefix(c.Text, allowPrefix))
 					if len(fields) < 2 {
-						malformed = append(malformed, Finding{
+						ds.malformed = append(ds.malformed, Finding{
 							Pos:      pos,
 							Analyzer: "lint",
 							Message:  "malformed //lint:allow directive: need an analyzer name and a reason, e.g. //lint:allow walltime startup banner uses wall time by design",
@@ -54,39 +63,74 @@ func applySuppressions(findings []Finding, pkgs []*Package) []Finding {
 					d := &directive{
 						names:  strings.Split(fields[0], ","),
 						reason: strings.Join(fields[1:], " "),
+						pos:    pos,
 					}
-					lines := byLine[pos.Filename]
+					lines := ds.byLine[pos.Filename]
 					if lines == nil {
 						lines = make(map[int][]*directive)
-						byLine[pos.Filename] = lines
+						ds.byLine[pos.Filename] = lines
 					}
 					lines[pos.Line] = append(lines[pos.Line], d)
+					ds.all = append(ds.all, d)
 				}
 			}
 		}
 	}
+	return ds
+}
+
+// applySuppressions removes findings covered by a //lint:allow directive
+// (marking the directive used) and appends a finding for every malformed
+// (reason-less) directive.
+func (ds *directiveSet) applySuppressions(findings []Finding) []Finding {
 	out := findings[:0]
 	for _, f := range findings {
-		if !suppressed(byLine, f) {
+		if !ds.suppressed(f) {
 			out = append(out, f)
 		}
 	}
-	return append(out, malformed...)
+	return append(out, ds.malformed...)
+}
+
+// applySuppressions is the single-shot form used by tests.
+func applySuppressions(findings []Finding, pkgs []*Package) []Finding {
+	return collectDirectives(pkgs).applySuppressions(findings)
 }
 
 // suppressed reports whether a directive on the finding's line or the
-// line above covers it.
-func suppressed(byLine map[string]map[int][]*directive, f Finding) bool {
-	lines := byLine[f.Pos.Filename]
+// line above covers it, marking every covering directive as used.
+func (ds *directiveSet) suppressed(f Finding) bool {
+	lines := ds.byLine[f.Pos.Filename]
 	if lines == nil {
 		return false
 	}
+	hit := false
 	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
 		for _, d := range lines[line] {
 			if d.covers(f.Analyzer) {
-				return true
+				d.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// staleFindings reports every well-formed directive that suppressed
+// nothing in this run: the violation it excused is gone, so the directive
+// is dead weight that would silently mask the next real finding at that
+// line.
+func (ds *directiveSet) staleFindings() []Finding {
+	var out []Finding
+	for _, d := range ds.all {
+		if d.used {
+			continue
+		}
+		out = append(out, Finding{
+			Pos:      d.pos,
+			Analyzer: "lint",
+			Message:  "stale //lint:allow " + strings.Join(d.names, ",") + " directive: it suppresses nothing in this run — delete it (its reason was: " + d.reason + ")",
+		})
+	}
+	return out
 }

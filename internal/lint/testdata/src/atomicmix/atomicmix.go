@@ -1,0 +1,64 @@
+// Package atomicmix exercises the atomicmix analyzer: a field whose
+// address feeds a sync/atomic call must never be read or written plainly
+// anywhere in the package. Typed atomics and fields that never mix are
+// fine.
+package atomicmix
+
+import "sync/atomic"
+
+// stats mixes atomic and plain access on hits — the data race the
+// analyzer exists for — while misses stays consistently atomic.
+type stats struct {
+	hits   uint64
+	misses uint64
+}
+
+func (s *stats) hit() {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+func (s *stats) miss() {
+	atomic.AddUint64(&s.misses, 1)
+}
+
+func (s *stats) snapshot() (uint64, uint64) {
+	h := s.hits // want `field hits is accessed through sync/atomic \(line 17\) but read/written plainly here`
+	m := atomic.LoadUint64(&s.misses)
+	return h, m
+}
+
+func (s *stats) reset() {
+	s.hits = 0 // want `field hits is accessed through sync/atomic`
+	atomic.StoreUint64(&s.misses, 0)
+}
+
+// typedCounter is the project standard: the typed API makes the mix
+// impossible, so the analyzer ignores it.
+type typedCounter struct {
+	n atomic.Uint64
+}
+
+func (c *typedCounter) inc() { c.n.Add(1) }
+
+func (c *typedCounter) read() uint64 { return c.n.Load() }
+
+// plainOnly never touches sync/atomic; mutex-guarded plain access is a
+// different analyzer's business.
+type plainOnly struct {
+	n int
+}
+
+func (p *plainOnly) bump() { p.n++ }
+
+// suppressed documents a deliberate single-threaded fast path.
+type suppressed struct {
+	n uint64
+}
+
+func (s *suppressed) inc() {
+	atomic.AddUint64(&s.n, 1)
+}
+
+func (s *suppressed) initOnce() {
+	s.n = 0 //lint:allow atomicmix constructor runs before any goroutine sees the struct
+}

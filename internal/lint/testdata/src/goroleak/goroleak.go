@@ -1,0 +1,138 @@
+// Package goroleak exercises the goroleak analyzer: goroutines spawned
+// by types with Stop/Close/Shutdown must have a shutdown edge — a
+// done-channel or context receive, or a WaitGroup.Done the stopper can
+// wait on. Timer channels do not count as edges; types with no teardown
+// method are out of scope.
+package goroleak
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// server shuts its goroutines down properly through a done channel and a
+// WaitGroup.
+type server struct {
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+func (s *server) Start() {
+	s.wg.Add(2)
+	go func() {
+		defer s.wg.Done()
+		<-s.done
+	}()
+	go s.loop()
+}
+
+func (s *server) loop() {
+	defer s.wg.Done()
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (s *server) Stop() {
+	close(s.done)
+	s.wg.Wait()
+}
+
+// ctxWorker hands its goroutine a context; Done() is the edge.
+type ctxWorker struct {
+	cancel context.CancelFunc
+}
+
+func (w *ctxWorker) Start(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func (w *ctxWorker) Close() error {
+	w.cancel()
+	return nil
+}
+
+// leaker has a Stop but its goroutine never hears about it.
+type leaker struct {
+	n int
+}
+
+func (l *leaker) Start() {
+	go func() { // want `goroutine spawned by \(leaker\).Start has no shutdown edge`
+		for {
+			time.Sleep(time.Second)
+			l.n++
+		}
+	}()
+}
+
+func (l *leaker) Stop() {}
+
+// tickLeaker only ever waits on a timer channel — the ticker wakes it, it
+// never stops it.
+type tickLeaker struct{}
+
+func (t *tickLeaker) Start() {
+	go func() { // want `goroutine spawned by \(tickLeaker\).Start has no shutdown edge`
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			<-tick.C
+		}
+	}()
+}
+
+func (t *tickLeaker) Shutdown() {}
+
+// methodLeaker spawns a named method with no edge; the analyzer chases
+// the same-package body.
+type methodLeaker struct{ n int }
+
+func (m *methodLeaker) Start() {
+	go m.poll() // want `goroutine spawned by \(methodLeaker\).Start has no shutdown edge`
+}
+
+func (m *methodLeaker) poll() {
+	for {
+		time.Sleep(time.Second)
+		m.n++
+	}
+}
+
+func (m *methodLeaker) Close() {}
+
+// freeRunner has no Stop/Close/Shutdown: its goroutines are process-
+// lifetime by design and out of scope.
+type freeRunner struct{ n int }
+
+func (f *freeRunner) Start() {
+	go func() {
+		for {
+			time.Sleep(time.Second)
+			f.n++
+		}
+	}()
+}
+
+// suppressed documents a deliberate fire-and-forget goroutine.
+type suppressed struct{}
+
+func (s *suppressed) Start() {
+	//lint:allow goroleak goroutine exits with its one send, nothing to stop
+	go func() {
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+func (s *suppressed) Stop() {}

@@ -1,0 +1,16 @@
+// Package staleallow feeds TestUnusedAllowAudit: one directive earns its
+// keep by suppressing a real rawrand finding; the walltime directive
+// suppresses nothing and must be reported as stale.
+package staleallow
+
+import "math/rand"
+
+func jitter() float64 {
+	//lint:allow rawrand demo package, determinism irrelevant here
+	return rand.Float64()
+}
+
+func steady() float64 {
+	//lint:allow walltime sim clock only, honest
+	return 1.0
+}

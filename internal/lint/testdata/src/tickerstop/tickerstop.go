@@ -1,0 +1,108 @@
+// Package tickerstop exercises the tickerstop analyzer: unstopped
+// tickers/timers, time.After in loops and time.Tick are flagged; deferred
+// stops, field tickers stopped by an owner method, escaping values and
+// one-shot time.After are not.
+package tickerstop
+
+import "time"
+
+func deferredStop(done chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func exitPathStop(done chan struct{}) bool {
+	t := time.NewTimer(time.Second)
+	select {
+	case <-done:
+		t.Stop()
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func leakedLocal() {
+	t := time.NewTicker(time.Second) // want `has no reachable Stop in this function`
+	<-t.C
+}
+
+func leakedTimer() {
+	t := time.NewTimer(time.Second) // want `time.Timer assigned to t has no reachable Stop`
+	<-t.C
+}
+
+func afterInLoop(done chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		case <-time.After(time.Second): // want `time.After inside a loop`
+		}
+	}
+}
+
+func afterInRange(xs []int) {
+	for range xs {
+		<-time.After(time.Millisecond) // want `time.After inside a loop`
+	}
+}
+
+// afterOnce is the legitimate one-shot use.
+func afterOnce(done chan struct{}) bool {
+	select {
+	case <-done:
+		return false
+	case <-time.After(time.Second):
+		return true
+	}
+}
+
+func tick() {
+	<-time.Tick(time.Second) // want `time.Tick leaks its ticker`
+}
+
+// poller owns a field ticker; Stop releases it.
+type poller struct {
+	t *time.Ticker
+}
+
+func (p *poller) start() {
+	p.t = time.NewTicker(time.Second)
+}
+
+func (p *poller) Stop() {
+	p.t.Stop()
+}
+
+// leaky stores a ticker in a field no function ever stops.
+type leaky struct {
+	t *time.Ticker
+}
+
+func (l *leaky) start() {
+	l.t = time.NewTicker(time.Second) // want `field t is never stopped by any function in this package`
+}
+
+// escapes hands the ticker off; the caller owns the Stop.
+func escapes() *time.Ticker {
+	t := time.NewTicker(time.Second)
+	return t
+}
+
+func handedOff(stop func(*time.Ticker)) {
+	t := time.NewTicker(time.Second)
+	stop(t)
+}
+
+func suppressed() {
+	t := time.NewTicker(time.Second) //lint:allow tickerstop process-lifetime ticker, stops at exit
+	<-t.C
+}

@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Tickerstop forbids leaked time sources: a time.Ticker or time.Timer
+// with no reachable Stop, time.After inside a loop, and time.Tick
+// anywhere.
+//
+// An unstopped Ticker pins its goroutine and channel until the process
+// exits; time.After in a loop allocates a fresh timer per iteration that
+// the runtime cannot collect until it fires — in the relay reconnect and
+// polling paths that is a steady leak under sustained failure. Locals
+// need a Stop (usually deferred) in the same function; a ticker stored
+// into a struct field needs a Stop reachable through some method of the
+// package (typically its owner's Stop/Close). Values that escape — are
+// returned or passed onward — are the callee's responsibility and out of
+// scope.
+var Tickerstop = &Analyzer{
+	Name: "tickerstop",
+	Doc:  "every time.Ticker/Timer needs a reachable Stop; no time.After in loops, no time.Tick",
+	Run:  runTickerstop,
+}
+
+// timeFunc reports whether fn is the named function of package time.
+func timeFunc(fn *types.Func, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" &&
+		fn.Type().(*types.Signature).Recv() == nil && fn.Name() == name
+}
+
+func runTickerstop(p *Pass) {
+	// Pass 1: every field of type *time.Ticker/*time.Timer that some
+	// function in the package calls Stop on (fields are package-visible,
+	// so the Stop may live in any method).
+	fieldStopped := make(map[*types.Var]bool)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Stop" {
+				return true
+			}
+			if fv := fieldOf(p.Pkg.Info, sel.X); fv != nil {
+				fieldStopped[fv] = true
+			}
+			return true
+		})
+	}
+	for _, f := range p.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			p.tickWalk(fd.Body, fd.Body, false, fieldStopped)
+		}
+	}
+}
+
+// fieldOf resolves an expression to the struct field it names, or nil.
+func fieldOf(info *types.Info, e ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	if ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// tickWalk scans one statement tree: time.After/time.Tick misuse by loop
+// depth, and NewTicker/NewTimer assignments checked for a reachable Stop.
+func (p *Pass) tickWalk(n ast.Node, fnBody *ast.BlockStmt, inLoop bool, fieldStopped map[*types.Var]bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch st := x.(type) {
+		case *ast.ForStmt:
+			if st.Init != nil {
+				p.tickWalk(st.Init, fnBody, inLoop, fieldStopped)
+			}
+			if st.Cond != nil {
+				p.tickWalk(st.Cond, fnBody, true, fieldStopped)
+			}
+			if st.Post != nil {
+				p.tickWalk(st.Post, fnBody, true, fieldStopped)
+			}
+			p.tickWalk(st.Body, fnBody, true, fieldStopped)
+			return false
+		case *ast.RangeStmt:
+			p.tickWalk(st.X, fnBody, inLoop, fieldStopped)
+			p.tickWalk(st.Body, fnBody, true, fieldStopped)
+			return false
+		case *ast.AssignStmt:
+			for _, rhs := range st.Rhs {
+				p.tickWalk(rhs, fnBody, inLoop, fieldStopped)
+			}
+			if len(st.Lhs) == 1 && len(st.Rhs) == 1 {
+				p.checkNewTimeSource(st.Lhs[0], st.Rhs[0], fnBody, fieldStopped)
+			}
+			return false
+		case *ast.ValueSpec:
+			for _, v := range st.Values {
+				p.tickWalk(v, fnBody, inLoop, fieldStopped)
+			}
+			if len(st.Names) == 1 && len(st.Values) == 1 {
+				p.checkNewTimeSource(st.Names[0], st.Values[0], fnBody, fieldStopped)
+			}
+			return false
+		case *ast.CallExpr:
+			fn := callee(p.Pkg.Info, st)
+			switch {
+			case timeFunc(fn, "Tick"):
+				p.Reportf(st.Pos(), "time.Tick leaks its ticker forever; use time.NewTicker and Stop it")
+			case timeFunc(fn, "After") && inLoop:
+				p.Reportf(st.Pos(), "time.After inside a loop allocates an uncollectable timer per iteration; reuse one time.Timer (NewTimer + Reset) or a stopped Ticker")
+			}
+		}
+		return true
+	})
+}
+
+// checkNewTimeSource handles `lhs = time.NewTicker/NewTimer(...)`: a
+// plain local needs a Stop in the same function unless it escapes; a
+// field needs a Stop somewhere in the package.
+func (p *Pass) checkNewTimeSource(lhs, rhs ast.Expr, fnBody *ast.BlockStmt, fieldStopped map[*types.Var]bool) {
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := callee(p.Pkg.Info, call)
+	var kind string
+	switch {
+	case timeFunc(fn, "NewTicker"):
+		kind = "time.Ticker"
+	case timeFunc(fn, "NewTimer"):
+		kind = "time.Timer"
+	default:
+		return
+	}
+	if fv := fieldOf(p.Pkg.Info, lhs); fv != nil {
+		if !fieldStopped[fv] {
+			p.Reportf(call.Pos(), "%s stored in field %s is never stopped by any function in this package; stop it in the owner's Stop/Close so its goroutine and channel are released", kind, fv.Name())
+		}
+		return
+	}
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := p.Pkg.Info.Defs[id]
+	if obj == nil {
+		obj = p.Pkg.Info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return
+	}
+	if !localStoppedOrEscapes(p.Pkg.Info, fnBody, v, id) {
+		p.Reportf(call.Pos(), "%s assigned to %s has no reachable Stop in this function; defer %s.Stop() (or stop it on every exit path) so its goroutine and channel are released", kind, id.Name, id.Name)
+	}
+}
+
+// localStoppedOrEscapes reports whether the local time source is stopped
+// in the function, or escapes it (returned, stored elsewhere, or passed
+// to a call — then the receiver owns it).
+func localStoppedOrEscapes(info *types.Info, body *ast.BlockStmt, v *types.Var, def *ast.Ident) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Stop" {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && info.Uses[id] == v {
+					found = true
+					return false
+				}
+			}
+			for _, a := range x.Args {
+				if usesVar(info, a, v) {
+					found = true // handed off; the callee owns the Stop
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if usesVar(info, r, v) {
+					found = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for _, r := range x.Rhs {
+				if id, ok := ast.Unparen(r).(*ast.Ident); ok && id != def && info.Uses[id] == v {
+					found = true // re-stored; tracked at its new home
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			for _, e := range x.Elts {
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if id, ok := ast.Unparen(e).(*ast.Ident); ok && info.Uses[id] == v {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// usesVar reports whether the expression mentions the variable directly.
+func usesVar(info *types.Info, e ast.Expr, v *types.Var) bool {
+	used := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == v {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

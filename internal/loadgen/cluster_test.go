@@ -163,6 +163,55 @@ func TestTrunkFleetSingleServer(t *testing.T) {
 	}
 }
 
+// TestClusterReplayFromRecording closes the PR 7 follow-up: a trace
+// recorded against a 3-shard cluster replays against a cluster router URL,
+// re-partitioning every trunk batch per shard through the live epoch
+// config. Replaying against a *different* cluster than the one recorded
+// proves routing comes from the replay-side ring, not anything baked into
+// the trace (the timeline stores no addresses).
+func TestClusterReplayFromRecording(t *testing.T) {
+	recURL, _, _ := startTestCluster(t, 3)
+	tl := recordRun(t, Config{
+		UEs:         18,
+		Trunks:      3,
+		Profiles:    []hbmsg.AppProfile{fastProfile(60 * time.Millisecond)},
+		Duration:    400 * time.Millisecond,
+		ClusterAddr: recURL,
+	})
+
+	if _, err := ReplayLive(tl, ReplayOptions{ServerAddr: "127.0.0.1:1", ClusterAddr: "127.0.0.1:2"}); err == nil {
+		t.Fatal("replay accepted both a server and a cluster target")
+	}
+
+	replayURL, _, shards := startTestCluster(t, 3)
+	m, err := ReplayLive(tl, ReplayOptions{ClusterAddr: replayURL, Speedup: 4, AckTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(m.Sent) != tl.Sends() {
+		t.Fatalf("replayed %d of %d recorded sends", m.Sent, tl.Sends())
+	}
+	if m.Delivered != m.Sent || m.Timeouts != 0 {
+		t.Fatalf("cluster replay lost heartbeats: %+v", m)
+	}
+	if m.Signaling.Uplinks >= m.Sent || m.Signaling.Batches == 0 {
+		t.Fatalf("no batching in cluster replay: %+v", m.Signaling)
+	}
+	served := 0
+	for _, sh := range shards {
+		st := sh.srv.Stats()
+		if st.HeartbeatsDirect+st.HeartbeatsRelayed > 0 {
+			served++
+		}
+		if st.Misrouted > 0 {
+			t.Errorf("replay misrouted %d frames to shard %s in a stable ring", st.Misrouted, sh.node.ID)
+		}
+	}
+	if served < 2 {
+		t.Errorf("only %d replay shards served traffic; batches are not being partitioned", served)
+	}
+}
+
 // TestTrunkClusterShardKill is the loss-under-reshard invariant at the
 // loadgen level: a trunked fleet spread over 3 shards keeps zero timeouts
 // when one shard is hard-killed mid-run — in-flight heartbeats to the dead

@@ -3,6 +3,7 @@ package loadgen
 import (
 	"fmt"
 	"net"
+	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -846,10 +847,16 @@ func (u *vue) sweep(now time.Time) {
 	cutoff := now.Add(-u.timeout).UnixNano()
 	var resend []uint64
 	u.mu.Lock()
+	// Map order is nondeterministic; collect and sort the expired seqs so
+	// the fallback/timeout decisions and trace records replay identically.
+	var expired []uint64
 	for seq, at := range u.pending {
-		if at >= cutoff {
-			continue
+		if at < cutoff {
+			expired = append(expired, seq)
 		}
+	}
+	slices.Sort(expired)
+	for _, seq := range expired {
 		if u.fellBack != nil && !u.fellBack[seq] {
 			u.fellBack[seq] = true
 			u.pending[seq] = now.UnixNano()
@@ -948,7 +955,15 @@ func (u *vue) pendingCount() int {
 func (u *vue) expireAll() {
 	now := time.Now()
 	u.mu.Lock()
+	// Sorted drain: the end-of-run timeout records land in seq order, not
+	// map order, so recorded traces are canonical before Timeline even
+	// sorts them.
+	seqs := make([]uint64, 0, len(u.pending))
 	for seq := range u.pending {
+		seqs = append(seqs, seq)
+	}
+	slices.Sort(seqs)
+	for _, seq := range seqs {
 		delete(u.pending, seq)
 		if u.fellBack != nil {
 			delete(u.fellBack, seq)

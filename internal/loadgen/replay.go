@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"d2dhb/internal/cluster"
 	"d2dhb/internal/faultnet"
 	"d2dhb/internal/hbproto"
 	"d2dhb/internal/rec"
@@ -28,6 +29,14 @@ type ReplayOptions struct {
 	// ServerAddr targets an existing presence server. Empty spawns an
 	// in-process relaynet.Server on loopback.
 	ServerAddr string
+	// ClusterAddr targets a cluster instead of a single server: the
+	// router's base URL (e.g. "http://127.0.0.1:7590"). The replay
+	// resolves every client's owning shard through the epoch config —
+	// direct clients dial their owner, trunk groups partition each batch
+	// per shard under one ring view — so a trace recorded against a
+	// cluster replays through the same routing function. Overrides
+	// ServerAddr.
+	ClusterAddr string
 	// Speedup divides recorded offsets so long recordings replay quickly.
 	// Zero means 1.
 	Speedup float64
@@ -59,10 +68,11 @@ type replayUnit struct {
 
 // liveReplay is the shared state of one ReplayLive run.
 type liveReplay struct {
-	tl    *rec.Timeline
-	opts  ReplayOptions
-	addr  string
-	start time.Time
+	tl      *rec.Timeline
+	opts    ReplayOptions
+	addr    string
+	cluster *cluster.Client // nil outside cluster mode
+	start   time.Time
 
 	mu        sync.Mutex
 	pending   map[replayKey]time.Time
@@ -85,6 +95,9 @@ func ReplayLive(tl *rec.Timeline, opts ReplayOptions) (rec.Metrics, error) {
 	if err := tl.Validate(); err != nil {
 		return rec.Metrics{}, err
 	}
+	if opts.ClusterAddr != "" && opts.ServerAddr != "" {
+		return rec.Metrics{}, fmt.Errorf("loadgen: cluster and server replay targets are mutually exclusive")
+	}
 	if opts.Speedup <= 0 {
 		opts.Speedup = 1
 	}
@@ -104,7 +117,15 @@ func ReplayLive(tl *rec.Timeline, opts ReplayOptions) (rec.Metrics, error) {
 
 	var server *relaynet.Server
 	r.addr = opts.ServerAddr
-	if r.addr == "" {
+	switch {
+	case opts.ClusterAddr != "":
+		cc, err := cluster.NewClient(cluster.ClientConfig{RouterURL: clusterURL(opts.ClusterAddr)})
+		if err != nil {
+			return rec.Metrics{}, err
+		}
+		defer cc.Close()
+		r.cluster = cc
+	case r.addr == "":
 		server = relaynet.NewServer()
 		if err := server.Start("127.0.0.1:0"); err != nil {
 			return rec.Metrics{}, err
@@ -206,14 +227,27 @@ func (r *liveReplay) pace(at time.Duration) {
 	}
 }
 
-// dial opens the unit's server connection, optionally through the fault
+// ownerAddr resolves where a client's heartbeats go: its owning shard's
+// listener in cluster mode (through the current ring view), the fixed
+// server address otherwise.
+func (r *liveReplay) ownerAddr(clientID string) string {
+	if r.cluster == nil {
+		return r.addr
+	}
+	if node, ok := r.cluster.View().Owner(clientID); ok {
+		return node.Addr
+	}
+	return r.addr
+}
+
+// dial opens a server connection to addr, optionally through the fault
 // schedule, and starts its ack reader.
-func (r *liveReplay) dial(register *hbproto.Register) net.Conn {
+func (r *liveReplay) dial(addr string, register *hbproto.Register) net.Conn {
 	dial := net.Dial
 	if r.opts.Faults != nil {
 		dial = r.opts.Faults.Dial
 	}
-	conn, err := dial("tcp", r.addr)
+	conn, err := dial("tcp", addr)
 	if err != nil {
 		return nil
 	}
@@ -241,11 +275,14 @@ func (r *liveReplay) runUnit(u *replayUnit) {
 // send, paced to the recorded offsets.
 func (r *liveReplay) runDirect(u *replayUnit) {
 	c := r.tl.Clients[u.sends[0].Client]
-	conn := r.dial(nil)
+	conn := r.dial(r.ownerAddr(c.ID), nil)
 	for _, e := range u.sends {
 		r.pace(e.At)
 		if conn == nil {
-			conn = r.dial(nil)
+			// Re-resolve on every redial: a reshard between batches moves
+			// the client's owner, and the replay should follow it the way
+			// the live fleet does.
+			conn = r.dial(r.ownerAddr(c.ID), nil)
 		}
 		if conn == nil {
 			r.noteWriteError(1)
@@ -273,12 +310,12 @@ func (r *liveReplay) runDirect(u *replayUnit) {
 
 // runTrunk replays one relay/trunk group: consecutive sends within the
 // recorded coalesce window become one Batch frame, written at the last
-// member's offset — exactly the aggregation the group performed live.
+// member's offset — exactly the aggregation the group performed live. In
+// cluster mode each coalesced batch is partitioned per owning shard under
+// one ring view (one connection per shard), the same split the live trunk
+// performs.
 func (r *liveReplay) runTrunk(u *replayUnit) {
-	conn := r.dial(&hbproto.Register{
-		ID: u.relayID, Role: hbproto.RoleRelay, App: "replay",
-		Period: r.tl.RelayPeriod, Expiry: r.tl.RelayPeriod,
-	})
+	conns := make(map[string]net.Conn) // shard ID → conn; "" single-server
 	for i := 0; i < len(u.sends); {
 		// The batch is [i, j): recorded gaps ≤ Coalesce, bounded by the
 		// trace's relay capacity when one is recorded.
@@ -290,43 +327,68 @@ func (r *liveReplay) runTrunk(u *replayUnit) {
 			j++
 		}
 		r.pace(u.sends[j-1].At)
-		if conn == nil {
-			conn = r.dial(&hbproto.Register{
-				ID: u.relayID, Role: hbproto.RoleRelay, App: "replay",
-				Period: r.tl.RelayPeriod, Expiry: r.tl.RelayPeriod,
-			})
-		}
-		if conn == nil {
-			r.noteWriteError(j - i)
-			i = j
-			continue
-		}
-		now := time.Now()
-		b := &hbproto.Batch{Relay: u.relayID, HBs: make([]hbproto.Heartbeat, 0, j-i)}
-		for _, e := range u.sends[i:j] {
-			c := r.tl.Clients[e.Client]
-			b.HBs = append(b.HBs, hbproto.Heartbeat{
-				Src: c.ID, Seq: e.Seq, App: c.App,
-				Origin: now, Expiry: c.Expiry, Pad: c.Pad,
-			})
-			r.track(replayKey{c.ID, e.Seq}, now)
-		}
-		if err := hbproto.WriteFrame(conn, b); err != nil {
-			for _, e := range u.sends[i:j] {
-				r.untrack(replayKey{r.tl.Clients[e.Client].ID, e.Seq})
+		if r.cluster == nil {
+			r.sendTrunkBatch(conns, u, "", r.addr, u.sends[i:j])
+		} else {
+			view := r.cluster.View()
+			keys := make([]string, j-i)
+			for k, e := range u.sends[i:j] {
+				keys[k] = r.tl.Clients[e.Client].ID
 			}
-			r.noteWriteError(j - i)
-			_ = conn.Close()
-			conn = nil
-			i = j
-			continue
+			for _, g := range view.Ring().GroupSorted(keys) {
+				sub := make([]rec.Event, len(g.Idxs))
+				for k, idx := range g.Idxs {
+					sub[k] = u.sends[i+idx]
+				}
+				addr := r.addr
+				if node, ok := view.Config.Node(g.Shard); ok {
+					addr = node.Addr
+				}
+				r.sendTrunkBatch(conns, u, g.Shard, addr, sub)
+			}
 		}
-		r.noteUplink(true)
 		i = j
 	}
-	if conn != nil {
+	for _, conn := range conns {
 		r.keep(conn)
 	}
+}
+
+// sendTrunkBatch writes one (shard-local) Batch frame on the group's
+// cached connection to that shard, redialing once per batch if needed.
+func (r *liveReplay) sendTrunkBatch(conns map[string]net.Conn, u *replayUnit, shard, addr string, events []rec.Event) {
+	conn := conns[shard]
+	if conn == nil {
+		conn = r.dial(addr, &hbproto.Register{
+			ID: u.relayID, Role: hbproto.RoleRelay, App: "replay",
+			Period: r.tl.RelayPeriod, Expiry: r.tl.RelayPeriod,
+		})
+		if conn == nil {
+			r.noteWriteError(len(events))
+			return
+		}
+		conns[shard] = conn
+	}
+	now := time.Now()
+	b := &hbproto.Batch{Relay: u.relayID, HBs: make([]hbproto.Heartbeat, 0, len(events))}
+	for _, e := range events {
+		c := r.tl.Clients[e.Client]
+		b.HBs = append(b.HBs, hbproto.Heartbeat{
+			Src: c.ID, Seq: e.Seq, App: c.App,
+			Origin: now, Expiry: c.Expiry, Pad: c.Pad,
+		})
+		r.track(replayKey{c.ID, e.Seq}, now)
+	}
+	if err := hbproto.WriteFrame(conn, b); err != nil {
+		for _, e := range events {
+			r.untrack(replayKey{r.tl.Clients[e.Client].ID, e.Seq})
+		}
+		r.noteWriteError(len(events))
+		_ = conn.Close()
+		delete(conns, shard)
+		return
+	}
+	r.noteUplink(true)
 }
 
 // keep parks a finished unit's connection so the drain phase can still

@@ -1,7 +1,9 @@
 package loadgen
 
 import (
+	"cmp"
 	"net"
+	"slices"
 	"sync"
 	"time"
 
@@ -26,6 +28,18 @@ type tuser struct {
 type hbref struct {
 	idx int
 	seq uint64
+}
+
+// sortRefs orders refs by (user index, seq): the canonical walk order for
+// anything that records trace events per ref, since map iteration over
+// pending sets is nondeterministic.
+func sortRefs(refs []hbref) {
+	slices.SortFunc(refs, func(a, b hbref) int {
+		if c := cmp.Compare(a.idx, b.idx); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.seq, b.seq)
+	})
 }
 
 // trunk multiplexes many virtual users over one hbproto relay connection
@@ -124,12 +138,12 @@ func (t *trunk) send(refs []hbref, now time.Time, fallback bool) {
 	for i, ref := range refs {
 		keys[i] = t.users[ref.idx].id
 	}
-	for shard, idxs := range view.Ring().Group(keys) {
-		group := make([]hbref, len(idxs))
-		for j, k := range idxs {
+	for _, g := range view.Ring().GroupSorted(keys) {
+		group := make([]hbref, len(g.Idxs))
+		for j, k := range g.Idxs {
 			group[j] = refs[k]
 		}
-		t.sendShard(shard, group, now, fallback)
+		t.sendShard(g.Shard, group, now, fallback)
 	}
 }
 
@@ -208,10 +222,16 @@ func (t *trunk) collectExpired(now time.Time) []hbref {
 	cutoff := now.Add(-t.timeout).UnixNano()
 	var resend []hbref
 	t.mu.Lock()
+	// Collect and sort before acting: the fallback/timeout decisions and
+	// the trace records must not depend on map iteration order.
+	var expired []hbref
 	for ref, at := range t.pending {
-		if at >= cutoff {
-			continue
+		if at < cutoff {
+			expired = append(expired, ref)
 		}
+	}
+	sortRefs(expired)
+	for _, ref := range expired {
 		if t.fellBack != nil && !t.fellBack[ref] {
 			t.fellBack[ref] = true
 			t.pending[ref] = now.UnixNano()
@@ -356,7 +376,14 @@ func (t *trunk) expireAll() {
 	now := time.Now()
 	t.mu.Lock()
 	n := len(t.pending)
+	// Sorted drain, same reason as collectExpired: trace records in
+	// canonical (user, seq) order rather than map order.
+	refs := make([]hbref, 0, n)
 	for ref := range t.pending {
+		refs = append(refs, ref)
+	}
+	sortRefs(refs)
+	for _, ref := range refs {
 		t.trec.Record(rec.EvTimeout, t.recIdx(ref.idx), ref.seq, now)
 	}
 	t.pending = make(map[hbref]int64)

@@ -568,10 +568,15 @@ func (r *RelayAgent) reconnectUpstream() bool {
 		if conn != nil {
 			_ = conn.Close()
 		}
+		// A reusable timer instead of time.After: under a long outage this
+		// loop runs for many attempts, and per-iteration After timers pile
+		// up uncollectable until they fire.
+		t := time.NewTimer(r.jittered(backoff))
 		select {
 		case <-r.done:
+			t.Stop()
 			return false
-		case <-time.After(r.jittered(backoff)):
+		case <-t.C:
 		}
 		backoff *= 2
 	}
@@ -836,9 +841,10 @@ func (r *RelayAgent) flush() {
 		for i := range hbs {
 			keys[i] = hbs[i].Src
 		}
-		for shard, idxs := range view.Ring().Group(keys) {
-			sub := make([]hbproto.Heartbeat, 0, len(idxs))
-			for _, i := range idxs {
+		for _, g := range view.Ring().GroupSorted(keys) {
+			shard := g.Shard
+			sub := make([]hbproto.Heartbeat, 0, len(g.Idxs))
+			for _, i := range g.Idxs {
 				sub = append(sub, hbs[i])
 			}
 			conn := r.shardConn(shard, view)
