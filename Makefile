@@ -36,14 +36,17 @@ bench:
 	$(GO) test -run XXX -bench=. -benchmem .
 
 # Bench trajectory: kernel ns/event + allocs/event, scan latency at 1k/10k
-# devices, per-figure wall time and the city short preset, written to
-# BENCH_<rev>.json for revision-over-revision comparison. Use
-# CITY_PRESET=day for the 24h headline run. d2dbench refuses to overwrite
-# an existing (committed) baseline; pass FORCE=1 to regenerate one.
+# devices, per-figure wall time, the city short preset and the tile-sharded
+# parallel city runs (core ladder with a cross-core digest-equality check),
+# written to BENCH_<rev>.json for revision-over-revision comparison. Use
+# CITY_PRESET=day for the 24h headline run; CITY_PARALLEL=short|day|none
+# trims the parallel section. d2dbench refuses to overwrite an existing
+# (committed) baseline; pass FORCE=1 to regenerate one.
 CITY_PRESET ?= short
+CITY_PARALLEL ?= both
 BENCH_FORCE := $(if $(FORCE),-force,)
 bench-json:
-	$(GO) run ./cmd/d2dbench -json -city $(CITY_PRESET) $(BENCH_FORCE) \
+	$(GO) run ./cmd/d2dbench -json -city $(CITY_PRESET) -city-parallel $(CITY_PARALLEL) $(BENCH_FORCE) \
 		-rev $$(git rev-parse --short HEAD 2>/dev/null || echo dev)
 
 # Bench regression gate: rerun the trajectory into .bench/ and diff it
@@ -58,7 +61,7 @@ bench-gate:
 	if [ -z "$$base" ]; then echo "bench-gate: no committed BENCH_*.json baseline"; exit 1; fi; \
 	echo "bench-gate: baseline $$base"; \
 	mkdir -p .bench; \
-	$(GO) run ./cmd/d2dbench -json -city $(CITY_PRESET) -rev ci -out .bench -force && \
+	$(GO) run ./cmd/d2dbench -json -city $(CITY_PRESET) -city-parallel $(CITY_PARALLEL) -rev ci -out .bench -force && \
 	$(GO) run ./cmd/d2dbench -diff-json .bench/diff.json -compare "$$base" .bench/BENCH_ci.json
 
 # Print every paper table/figure with paper-vs-measured comparisons.
@@ -97,6 +100,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadFrame -fuzztime=30s ./internal/hbproto
 	$(GO) test -fuzz=FuzzKernelVsHeapModel -fuzztime=30s ./internal/simtime
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/rec
+	$(GO) test -fuzz=FuzzTileMergeVsSequential -fuzztime=30s ./internal/experiments
 
 # Coverage gate: writes the module coverprofile (CI uploads coverage.out and
 # the -func summary as artifacts) and fails if a gated package drops below
@@ -104,8 +108,9 @@ fuzz:
 # (sched 98.3%, relaynet 86.6%, cluster 78.2%, loadgen 80.5%) slightly so
 # unrelated churn doesn't flap the gate; raise them when the suites grow.
 # rec (94.5%), benchcmp (98.9%) and lint (89.6%) carry the ISSUE-mandated
-# ≥85% floors.
-COVER_FLOORS := internal/sched:95 internal/relaynet:82 internal/cluster:74 internal/loadgen:76 internal/rec:90 internal/benchcmp:95 internal/lint:85
+# ≥85% floors. simtime (95.6%) and geo (87.5%) gate the tile-sharding
+# kernel (TileGroup/Agenda/TileGrid); trace (92.0%) gates the keyed merge.
+COVER_FLOORS := internal/sched:95 internal/relaynet:82 internal/cluster:74 internal/loadgen:76 internal/rec:90 internal/benchcmp:95 internal/lint:85 internal/simtime:92 internal/geo:84 internal/trace:88
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

@@ -29,7 +29,7 @@ import (
 // runBench executes the whole trajectory and writes BENCH_<rev>.json into
 // outDir (current directory when empty). An existing report for the same
 // revision is a committed baseline and is never overwritten without force.
-func runBench(seed int64, rev, cityPreset, outDir string, force bool) error {
+func runBench(seed int64, rev, cityPreset, cityParPreset, outDir string, force bool) error {
 	path := filepath.Join(outDir, fmt.Sprintf("BENCH_%s.json", rev))
 	if !force {
 		if _, err := os.Stat(path); err == nil {
@@ -115,6 +115,14 @@ func runBench(seed int64, rev, cityPreset, outDir string, force bool) error {
 		}
 	}
 
+	if cityParPreset != "none" {
+		points, err := benchCityParallel(cityParPreset)
+		if err != nil {
+			return err
+		}
+		rep.CityParallel = points
+	}
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -134,7 +142,95 @@ func runBench(seed int64, rev, cityPreset, outDir string, force bool) error {
 			rep.City.Preset, rep.City.Devices, rep.City.SimSeconds,
 			rep.City.WallMs/1000, rep.City.EventsPerSec)
 	}
+	for _, p := range rep.CityParallel {
+		fmt.Printf("city_parallel-%s: %d devices, %d tiles, %d cores: %.0f sim-s in %.1f wall-s (%.0f events/sec)\n",
+			p.Preset, p.Devices, p.Tiles, p.Cores, p.SimSeconds, p.WallMs/1000, p.EventsPerSec)
+	}
 	return nil
+}
+
+// benchCores is the core-count ladder for the parallel city runs: 1, 2
+// and every core the machine has, clipped to the machine (a 2-core point
+// measured on a 1-core box would be fiction) and deduplicated.
+func benchCores() []int {
+	max := runtime.NumCPU()
+	var cores []int
+	for _, c := range []int{1, 2, max} {
+		if c > max {
+			continue
+		}
+		dup := false
+		for _, seen := range cores {
+			dup = dup || seen == c
+		}
+		if !dup {
+			cores = append(cores, c)
+		}
+	}
+	return cores
+}
+
+// benchCityParallel measures the tile-sharded city kernel across the core
+// ladder. Every run of a preset must produce the same report digest
+// regardless of GOMAXPROCS — the determinism contract — so the harness
+// doubles as an end-to-end equivalence check and fails hard on a mismatch.
+func benchCityParallel(preset string) ([]benchcmp.CityParallelBench, error) {
+	type point struct {
+		name string
+		cfg  experiments.ParallelCityConfig
+	}
+	var presets []point
+	switch preset {
+	case "short":
+		presets = []point{{"parshort", experiments.CityParallelShort(16)}}
+	case "day":
+		presets = []point{{"parday", experiments.CityParallelDay(64)}}
+	case "both":
+		presets = []point{
+			{"parshort", experiments.CityParallelShort(16)},
+			{"parday", experiments.CityParallelDay(64)},
+		}
+	default:
+		return nil, fmt.Errorf("bench: unknown city-parallel preset %q (short|day|both|none)", preset)
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var out []benchcmp.CityParallelBench
+	for _, p := range presets {
+		digest := ""
+		for _, cores := range benchCores() {
+			fmt.Fprintf(os.Stderr, "bench: city_parallel %s (%d devices, %d tiles) on %d core(s)...\n",
+				p.name, p.cfg.Devices, p.cfg.Tiles, cores)
+			runtime.GOMAXPROCS(cores)
+			start := time.Now()
+			rep, stats, err := experiments.RunCityParallel(p.cfg)
+			if err != nil {
+				return nil, fmt.Errorf("bench city_parallel %s: %w", p.name, err)
+			}
+			wall := time.Since(start)
+			if digest == "" {
+				digest = rep.Digest()
+			} else if d := rep.Digest(); d != digest {
+				return nil, fmt.Errorf("bench city_parallel %s: digest %s on %d core(s) differs from %s — parallel kernel is not deterministic",
+					p.name, d, cores, digest)
+			}
+			out = append(out, benchcmp.CityParallelBench{
+				Preset:       p.name,
+				Devices:      stats.Devices,
+				Tiles:        stats.Tiles,
+				Cores:        cores,
+				SimSeconds:   stats.SimSeconds,
+				Events:       stats.Events,
+				WallMs:       float64(wall.Microseconds()) / 1000,
+				EventsPerSec: float64(stats.Events) / wall.Seconds(),
+				Deliveries:   stats.Deliveries,
+				OnTimeRate:   stats.OnTimeRate,
+			})
+		}
+	}
+	return out, nil
 }
 
 // runCompare loads two bench reports, prints the human-readable diff, and

@@ -6,7 +6,7 @@
 //	d2dbench [-seed N] [-csv] [-out dir]
 //	         [-only table1|fig6|fig7|table3|fig8|fig9|fig10|fig11|table4|fig12|fig13|fig15|
 //	                density|storm|battery|extension|seeds|sensitivity|delay|incentive|ablations]
-//	d2dbench -json [-rev id] [-city short|day|none] [-out dir] [-force]
+//	d2dbench -json [-rev id] [-city short|day|none] [-city-parallel short|day|both|none] [-out dir] [-force]
 //	d2dbench [-diff-json out.json] -compare OLD.json NEW.json
 //
 // With -json the command runs the bench trajectory instead — kernel
@@ -41,6 +41,7 @@ func main() {
 		jsonMode = flag.Bool("json", false, "run the bench trajectory and write BENCH_<rev>.json")
 		rev      = flag.String("rev", "dev", "revision label for the BENCH_<rev>.json file name")
 		city     = flag.String("city", "short", "city preset for -json: short, day or none")
+		cityPar  = flag.String("city-parallel", "both", "parallel city presets for -json: short, day, both or none")
 		force    = flag.Bool("force", false, "with -json, overwrite an existing BENCH_<rev>.json baseline")
 		compare  = flag.Bool("compare", false, "compare two bench reports: d2dbench -compare OLD.json NEW.json")
 		diffJSON = flag.String("diff-json", "", "with -compare, also write the machine-readable diff to this file")
@@ -64,7 +65,7 @@ func main() {
 		}
 	}
 	if *jsonMode {
-		if err := runBench(*seed, *rev, strings.ToLower(*city), *out, *force); err != nil {
+		if err := runBench(*seed, *rev, strings.ToLower(*city), strings.ToLower(*cityPar), *out, *force); err != nil {
 			fmt.Fprintln(os.Stderr, "d2dbench:", err)
 			os.Exit(1)
 		}

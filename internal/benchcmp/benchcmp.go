@@ -20,6 +20,11 @@ type Report struct {
 	Scans     []ScanBench  `json:"scans"`
 	Figures   []FigureTime `json:"figures"`
 	City      *CityBench   `json:"city,omitempty"`
+	// CityParallel holds the tile-sharded city kernel measurements, one
+	// per (preset, devices, tiles, cores) point. Absent from baselines
+	// recorded before the parallel kernel existed; Compare grandfathers
+	// that case (see compareCityParallel).
+	CityParallel []CityParallelBench `json:"city_parallel,omitempty"`
 }
 
 // KernelBench is the event-kernel steady-state measurement.
@@ -52,6 +57,22 @@ type CityBench struct {
 	WallMs       float64 `json:"wall_ms"`
 	EventsPerSec float64 `json:"events_per_sec"`
 	L3Messages   int     `json:"l3_messages"`
+	Deliveries   int     `json:"deliveries"`
+	OnTimeRate   float64 `json:"on_time_rate"`
+}
+
+// CityParallelBench is one tile-sharded city macro-run measurement.
+// (Preset, Devices, Tiles, Cores) is the comparison key; the same preset
+// is measured at several tile/core points to record the scaling curve.
+type CityParallelBench struct {
+	Preset       string  `json:"preset"`
+	Devices      int     `json:"devices"`
+	Tiles        int     `json:"tiles"`
+	Cores        int     `json:"cores"`
+	SimSeconds   float64 `json:"sim_seconds"`
+	Events       uint64  `json:"events"`
+	WallMs       float64 `json:"wall_ms"`
+	EventsPerSec float64 `json:"events_per_sec"`
 	Deliveries   int     `json:"deliveries"`
 	OnTimeRate   float64 `json:"on_time_rate"`
 }

@@ -31,6 +31,12 @@ func baseline() *Report {
 			Events: 1_234_567, WallMs: 900, EventsPerSec: 1.3e6,
 			L3Messages: 44_000, Deliveries: 190_000, OnTimeRate: 0.998,
 		},
+		CityParallel: []CityParallelBench{
+			{Preset: "parshort", Devices: 10000, Tiles: 16, Cores: 1, SimSeconds: 570,
+				Events: 600_000, WallMs: 330, EventsPerSec: 1.8e6, Deliveries: 19_000, OnTimeRate: 0.94},
+			{Preset: "parshort", Devices: 10000, Tiles: 16, Cores: 4, SimSeconds: 570,
+				Events: 600_000, WallMs: 110, EventsPerSec: 5.4e6, Deliveries: 19_000, OnTimeRate: 0.94},
+		},
 	}
 }
 
@@ -197,6 +203,83 @@ func TestCityPresetChangeSkipsComparison(t *testing.T) {
 	f := findingFor(t, d, "city.preset")
 	if f.Severity != SevInfo || !strings.Contains(f.Note, "preset changed") {
 		t.Fatalf("preset finding %+v", f)
+	}
+}
+
+// TestCityParallelGrandfather: a baseline predating the city_parallel
+// section must never fail on it — every new point reports as info. This
+// is how the section phases in without forcing a baseline flag-day.
+func TestCityParallelGrandfather(t *testing.T) {
+	old := baseline()
+	old.CityParallel = nil
+	d := Compare(old, baseline())
+	if d.Failed() {
+		t.Fatalf("grandfathered section failed the gate: %+v", d.Regressions())
+	}
+	f := findingFor(t, d, "city_parallel.parshort@t16.c1.wall_ms")
+	if f.Severity != SevInfo || !strings.Contains(f.Note, "no baseline section") {
+		t.Fatalf("grandfather finding %+v, want info/no-baseline-section", f)
+	}
+}
+
+// TestCityParallelGate: once the baseline carries the section, the gate
+// applies in full — wall regressions and on-time drops fail, counter
+// drift is info, vanished points fail, added points are info.
+func TestCityParallelGate(t *testing.T) {
+	if d := Compare(baseline(), baseline()); d.Failed() {
+		t.Fatalf("self-compare failed: %+v", d.Regressions())
+	}
+
+	bad := baseline()
+	bad.CityParallel[0].WallMs = 2000 // 6× slower, past rel and floor
+	bad.CityParallel[1].OnTimeRate = 0.90
+	bad.CityParallel[1].Deliveries = 18_500
+	d := Compare(baseline(), bad)
+	if !d.Failed() {
+		t.Fatal("regressed parallel section passed the gate")
+	}
+	if f := findingFor(t, d, "city_parallel.parshort@t16.c1.wall_ms"); f.Severity != SevFail {
+		t.Errorf("wall regression severity %s, want fail", f.Severity)
+	}
+	if f := findingFor(t, d, "city_parallel.parshort@t16.c4.on_time_rate"); f.Severity != SevFail {
+		t.Errorf("on-time drop severity %s, want fail", f.Severity)
+	}
+	if f := findingFor(t, d, "city_parallel.parshort@t16.c4.deliveries"); f.Severity != SevInfo {
+		t.Errorf("counter drift severity %s, want info", f.Severity)
+	}
+
+	gutted := baseline()
+	gutted.CityParallel = gutted.CityParallel[:1]
+	d = Compare(baseline(), gutted)
+	if !d.Failed() {
+		t.Fatal("vanished measurement point passed the gate")
+	}
+	f := findingFor(t, d, "city_parallel.parshort@t16.c4.wall_ms")
+	if f.Severity != SevFail || !strings.Contains(f.Note, "missing") {
+		t.Errorf("vanished point finding %+v, want missing-measurement failure", f)
+	}
+
+	grown := baseline()
+	grown.CityParallel = append(grown.CityParallel, CityParallelBench{
+		Preset: "parday", Devices: 100000, Tiles: 64, Cores: 4, WallMs: 60_000,
+	})
+	d = Compare(baseline(), grown)
+	if d.Failed() {
+		t.Fatalf("added point failed the gate: %+v", d.Regressions())
+	}
+	if f := findingFor(t, d, "city_parallel.parday@t64.c4.wall_ms"); f.Severity != SevInfo {
+		t.Errorf("added point severity %s, want info", f.Severity)
+	}
+
+	resized := baseline()
+	resized.CityParallel[0].Devices = 20_000
+	resized.CityParallel[0].WallMs = 5000
+	d = Compare(baseline(), resized)
+	if d.Failed() {
+		t.Fatalf("resized preset failed the gate: %+v", d.Regressions())
+	}
+	if f := findingFor(t, d, "city_parallel.parshort@t16.c1.devices"); f.Severity != SevInfo {
+		t.Errorf("resize severity %s, want info", f.Severity)
 	}
 }
 

@@ -203,6 +203,7 @@ func Compare(old, new *Report) *Diff {
 	}
 
 	d.compareCity(old.City, new.City)
+	d.compareCityParallel(old.CityParallel, new.CityParallel)
 	return d
 }
 
@@ -262,4 +263,94 @@ func (d *Diff) compareCity(old, new *CityBench) {
 		f.Note = "on-time delivery rate dropped"
 	}
 	d.Findings = append(d.Findings, f)
+}
+
+// cpKey identifies one parallel city measurement point.
+type cpKey struct {
+	preset string
+	tiles  int
+	cores  int
+}
+
+func (k cpKey) metric(suffix string) string {
+	return fmt.Sprintf("city_parallel.%s@t%d.c%d.%s", k.preset, k.tiles, k.cores, suffix)
+}
+
+// compareCityParallel handles the tile-sharded city section.
+//
+// Grandfather rule: a baseline recorded before the parallel kernel
+// existed has no city_parallel section at all. That absence is not a
+// regression — the new measurements report as SevInfo ("new measurement")
+// and never SevFail, so old baselines keep gating everything they do
+// cover while the section phases in. Once a baseline carries the section,
+// a point that vanishes from the new report DOES fail, same as any other
+// missing measurement.
+func (d *Diff) compareCityParallel(old, new []CityParallelBench) {
+	if len(old) == 0 {
+		for _, b := range new {
+			k := cpKey{preset: strings.ToLower(b.Preset), tiles: b.Tiles, cores: b.Cores}
+			d.Findings = append(d.Findings, Finding{
+				Metric: k.metric("wall_ms"), New: b.WallMs,
+				Severity: SevInfo, Note: "new measurement (no baseline section)",
+			})
+		}
+		return
+	}
+	newByKey := make(map[cpKey]CityParallelBench, len(new))
+	for _, b := range new {
+		newByKey[cpKey{preset: strings.ToLower(b.Preset), tiles: b.Tiles, cores: b.Cores}] = b
+	}
+	for _, ob := range old {
+		k := cpKey{preset: strings.ToLower(ob.Preset), tiles: ob.Tiles, cores: ob.Cores}
+		nb, ok := newByKey[k]
+		if !ok {
+			d.Findings = append(d.Findings, Finding{
+				Metric: k.metric("wall_ms"), Old: ob.WallMs,
+				Severity: SevFail, Note: "measurement missing from new report",
+			})
+			continue
+		}
+		delete(newByKey, k)
+		if ob.Devices != nb.Devices {
+			d.Findings = append(d.Findings, Finding{
+				Metric: k.metric("devices"),
+				Old:    float64(ob.Devices), New: float64(nb.Devices),
+				Severity: SevInfo, Note: "preset size changed; skipping wall comparison",
+			})
+			continue
+		}
+		d.compareMetric(k.metric("wall_ms"), ob.WallMs, nb.WallMs, ruleCityMs)
+		for _, c := range []struct {
+			name     string
+			old, new float64
+		}{
+			{"events", float64(ob.Events), float64(nb.Events)},
+			{"deliveries", float64(ob.Deliveries), float64(nb.Deliveries)},
+		} {
+			f := Finding{Metric: k.metric(c.name), Old: c.old, New: c.new, RelChange: relChange(c.old, c.new), Severity: SevOK}
+			if c.old != c.new {
+				f.Severity = SevInfo
+				f.Note = "deterministic counter changed (behavior diff)"
+			}
+			d.Findings = append(d.Findings, f)
+		}
+		f := Finding{
+			Metric: k.metric("on_time_rate"), Old: ob.OnTimeRate, New: nb.OnTimeRate,
+			RelChange: relChange(ob.OnTimeRate, nb.OnTimeRate), Severity: SevOK,
+		}
+		if ob.OnTimeRate-nb.OnTimeRate > cityOnTimeDrop {
+			f.Severity = SevFail
+			f.Note = "on-time delivery rate dropped"
+		}
+		d.Findings = append(d.Findings, f)
+	}
+	for _, b := range new {
+		k := cpKey{preset: strings.ToLower(b.Preset), tiles: b.Tiles, cores: b.Cores}
+		if _, stillNew := newByKey[k]; stillNew {
+			d.Findings = append(d.Findings, Finding{
+				Metric: k.metric("wall_ms"), New: b.WallMs,
+				Severity: SevInfo, Note: "new measurement",
+			})
+		}
+	}
 }

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"time"
+
+	"d2dhb/internal/cellular"
+	"d2dhb/internal/hbmsg"
+)
+
+// NewReport assembles a Report from externally produced device reports —
+// the parallel city kernel builds per-device results on tile workers and
+// merges them here in stable population order, so the result (and its
+// canonical digest) has exactly the same shape as a Simulation.Run
+// report. Device order in devices is preserved.
+func NewReport(duration time.Duration, devices []*DeviceReport, totalL3, deliveries, late int, channel cellular.ChannelReport) *Report {
+	rep := &Report{
+		Duration:        duration,
+		Devices:         devices,
+		TotalL3Messages: totalL3,
+		Deliveries:      deliveries,
+		LateDeliveries:  late,
+		Channel:         channel,
+		byID:            make(map[hbmsg.DeviceID]*DeviceReport, len(devices)),
+	}
+	for _, d := range devices {
+		rep.byID[d.ID] = d
+	}
+	return rep
+}

@@ -1,0 +1,92 @@
+package d2d
+
+import (
+	"fmt"
+	"testing"
+
+	"d2dhb/internal/geo"
+	"d2dhb/internal/hbmsg"
+)
+
+func TestBeaconIndexValidation(t *testing.T) {
+	if _, err := NewBeaconIndex(0); err == nil {
+		t.Fatal("zero cell size accepted")
+	}
+	if _, err := NewBeaconIndex(-1); err == nil {
+		t.Fatal("negative cell size accepted")
+	}
+}
+
+func TestBeaconIndexNeighborhoodCoversRange(t *testing.T) {
+	const cell = 35.0
+	x, err := NewBeaconIndex(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var beacons []Beacon
+	for i := 0; i < 100; i++ {
+		beacons = append(beacons, Beacon{
+			ID:    hbmsg.DeviceID(fmt.Sprintf("r%03d", i)),
+			Order: i,
+			Pos:   geo.Point{X: float64(i%10) * 12, Y: float64(i/10) * 12},
+		})
+	}
+	x.Rebuild(beacons)
+
+	q := geo.Point{X: 50, Y: 50}
+	got := x.Neighborhood(q, nil)
+	found := make(map[int]bool, len(got))
+	for _, b := range got {
+		found[b.Order] = true
+	}
+	for _, b := range beacons {
+		if q.Dist(b.Pos) <= cell && !found[b.Order] {
+			t.Fatalf("beacon %d at %+v within %v of %+v missing from neighborhood", b.Order, b.Pos, cell, q)
+		}
+	}
+}
+
+func TestBeaconIndexNeighborhoodSortedByOrder(t *testing.T) {
+	x, err := NewBeaconIndex(35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert out of order; all in one neighborhood.
+	x.Rebuild([]Beacon{
+		{Order: 5, Pos: geo.Point{X: 10, Y: 10}},
+		{Order: 1, Pos: geo.Point{X: 20, Y: 10}},
+		{Order: 3, Pos: geo.Point{X: 40, Y: 10}}, // adjacent cell
+	})
+	got := x.Neighborhood(geo.Point{X: 20, Y: 10}, nil)
+	if len(got) != 3 {
+		t.Fatalf("got %d beacons, want 3", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Order >= got[i].Order {
+			t.Fatalf("neighborhood not sorted by Order: %+v", got)
+		}
+	}
+}
+
+func TestBeaconIndexRebuildReplaces(t *testing.T) {
+	x, err := NewBeaconIndex(35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x.Rebuild([]Beacon{{Order: 0, Pos: geo.Point{X: 5, Y: 5}}})
+	if got := x.Neighborhood(geo.Point{X: 5, Y: 5}, nil); len(got) != 1 {
+		t.Fatalf("got %d beacons after first rebuild, want 1", len(got))
+	}
+	x.Rebuild([]Beacon{{Order: 1, Pos: geo.Point{X: 500, Y: 500}}})
+	if got := x.Neighborhood(geo.Point{X: 5, Y: 5}, nil); len(got) != 0 {
+		t.Fatalf("stale beacons survived rebuild: %+v", got)
+	}
+	if got := x.Neighborhood(geo.Point{X: 500, Y: 500}, nil); len(got) != 1 || got[0].Order != 1 {
+		t.Fatalf("new beacon missing after rebuild: %+v", got)
+	}
+	// Reuse buffer path.
+	buf := make([]Beacon, 0, 8)
+	if got := x.Neighborhood(geo.Point{X: 500, Y: 500}, buf[:0]); len(got) != 1 {
+		t.Fatalf("buffer reuse path broken: %+v", got)
+	}
+}

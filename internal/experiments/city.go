@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"d2dhb/internal/core"
@@ -71,21 +72,30 @@ func (c CityConfig) validate() error {
 	return nil
 }
 
-// CityScenario builds the configured city. The population mixes mobility
-// classes deterministically: among UEs, 60 % sit still, 25 % walk
-// (0.5–2 m/s with pauses), 10 % loiter on short orbits and 5 % ride in
-// vehicles (8–15 m/s); relays are 80 % parked and 20 % walking.
-func CityScenario(cfg CityConfig) (*core.Simulation, error) {
-	if err := cfg.validate(); err != nil {
-		return nil, err
+// cityRelayCount is the relay headcount the population rules imply.
+func cityRelayCount(cfg CityConfig) int {
+	n := int(float64(cfg.Devices) * cfg.RelayFraction)
+	if n < 1 {
+		n = 1
 	}
+	return n
+}
+
+// cityPopulation is the device roster of a city scenario, in stable
+// population order: relays first, then UEs.
+type cityPopulation struct {
+	relays []core.RelaySpec
+	ues    []core.UESpec
+}
+
+// buildCityPopulation draws the city roster from rng. The draw sequence
+// is the contract here: the sequential kernel passes its scheduler RNG
+// (preserving PR 5's golden digests), the parallel kernel passes a fresh
+// rand.New(rand.NewSource(cfg.Seed)) — either way the same rng state
+// yields a bit-identical roster.
+func buildCityPopulation(cfg CityConfig, rng *rand.Rand) (cityPopulation, error) {
 	profile := stdProfile()
-	sim, err := core.New(core.Options{Seed: cfg.Seed, Duration: cfg.Duration, DisableD2D: cfg.DisableD2D})
-	if err != nil {
-		return nil, err
-	}
 	area := geo.Square(cfg.Side)
-	rng := sim.Scheduler().Rand()
 	offset := func() time.Duration {
 		return time.Duration(rng.Int63n(int64(profile.Period)))
 	}
@@ -93,29 +103,25 @@ func CityScenario(cfg CityConfig) (*core.Simulation, error) {
 		return geo.NewRandomWaypoint(area, p, minV, maxV, pause, seed)
 	}
 
-	numRelays := int(float64(cfg.Devices) * cfg.RelayFraction)
-	if numRelays < 1 {
-		numRelays = 1
-	}
+	var pop cityPopulation
+	numRelays := cityRelayCount(cfg)
 	for i := 0; i < numRelays; i++ {
 		p := area.RandomPoint(rng)
 		mob := geo.Mobility(geo.Static{P: p})
 		if i%5 == 4 {
 			w, err := walker(p, 0.5, 1.5, 30*time.Second, cfg.Seed+int64(i))
 			if err != nil {
-				return nil, err
+				return cityPopulation{}, err
 			}
 			mob = w
 		}
-		if _, err := sim.AddRelay(core.RelaySpec{
+		pop.relays = append(pop.relays, core.RelaySpec{
 			ID:          hbmsg.DeviceID(fmt.Sprintf("relay-%05d", i)),
 			Profile:     profile,
 			Mobility:    mob,
 			Capacity:    cfg.Capacity,
 			StartOffset: offset(),
-		}); err != nil {
-			return nil, err
-		}
+		})
 	}
 	numUEs := cfg.Devices - numRelays
 	for i := 0; i < numUEs; i++ {
@@ -125,7 +131,7 @@ func CityScenario(cfg CityConfig) (*core.Simulation, error) {
 		case i%20 == 19: // 5 %: vehicle passenger
 			w, err := walker(p, 8, 15, 0, cfg.Seed+int64(numRelays+i))
 			if err != nil {
-				return nil, err
+				return cityPopulation{}, err
 			}
 			mob = w
 		case i%10 == 9: // 10 %: loiterer circling a spot
@@ -135,16 +141,43 @@ func CityScenario(cfg CityConfig) (*core.Simulation, error) {
 		default: // 25 %: pedestrian
 			w, err := walker(p, 0.5, 2.0, 20*time.Second, cfg.Seed+int64(numRelays+i))
 			if err != nil {
-				return nil, err
+				return cityPopulation{}, err
 			}
 			mob = w
 		}
-		if _, err := sim.AddUE(core.UESpec{
+		pop.ues = append(pop.ues, core.UESpec{
 			ID:          hbmsg.DeviceID(fmt.Sprintf("ue-%05d", i)),
 			Profile:     profile,
 			Mobility:    mob,
 			StartOffset: offset(),
-		}); err != nil {
+		})
+	}
+	return pop, nil
+}
+
+// CityScenario builds the configured city. The population mixes mobility
+// classes deterministically: among UEs, 60 % sit still, 25 % walk
+// (0.5–2 m/s with pauses), 10 % loiter on short orbits and 5 % ride in
+// vehicles (8–15 m/s); relays are 80 % parked and 20 % walking.
+func CityScenario(cfg CityConfig) (*core.Simulation, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sim, err := core.New(core.Options{Seed: cfg.Seed, Duration: cfg.Duration, DisableD2D: cfg.DisableD2D})
+	if err != nil {
+		return nil, err
+	}
+	pop, err := buildCityPopulation(cfg, sim.Scheduler().Rand())
+	if err != nil {
+		return nil, err
+	}
+	for i := range pop.relays {
+		if _, err := sim.AddRelay(pop.relays[i]); err != nil {
+			return nil, err
+		}
+	}
+	for i := range pop.ues {
+		if _, err := sim.AddUE(pop.ues[i]); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,451 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"d2dhb/internal/cellular"
+	"d2dhb/internal/core"
+	"d2dhb/internal/d2d"
+	"d2dhb/internal/energy"
+	"d2dhb/internal/geo"
+	"d2dhb/internal/hbmsg"
+	"d2dhb/internal/matching"
+	"d2dhb/internal/presence"
+	"d2dhb/internal/radio"
+	"d2dhb/internal/rrc"
+	"d2dhb/internal/sched"
+	"d2dhb/internal/simtime"
+	"d2dhb/internal/trace"
+)
+
+// ParallelCityConfig parameterizes the tile-sharded city kernel. The
+// population, area and traffic rules are exactly CityConfig's; Tiles and
+// Window control the parallel substrate. For a given Seed the run is
+// bit-identical — report digest and trace digest — for any Tiles value,
+// because Tiles only changes how the same windowed computation is
+// partitioned, never what it computes.
+type ParallelCityConfig struct {
+	CityConfig
+	// Tiles is the number of spatial shards (1 = the same windowed model
+	// on a single worker). NewTileGrid factors it into a grid.
+	Tiles int
+	// Window is the lookahead window W; cross-device effects land at the
+	// next multiple of W. Zero selects DefaultParallelWindow.
+	Window time.Duration
+	// CaptureTrace records every trace event into the canonical per-window
+	// merge and the run's trace digest. Off by default: the big presets
+	// skip the capture cost.
+	CaptureTrace bool
+	// Tracer, when non-nil, receives the canonically merged event stream
+	// (and implies capture).
+	Tracer trace.Tracer
+}
+
+// DefaultParallelWindow is the default lookahead window. Heartbeat periods
+// are minutes and expiries hundreds of seconds, so a 10 s forwarding
+// latency is well inside every deadline while leaving tiles long
+// uninterrupted runs.
+const DefaultParallelWindow = 10 * time.Second
+
+// CityParallelShort is the CI preset: CityShort on the given tile count.
+func CityParallelShort(tiles int) ParallelCityConfig {
+	return ParallelCityConfig{CityConfig: CityShort(), Tiles: tiles}
+}
+
+// CityParallelDay is the headline run: a 10k-device day on the given tile
+// count.
+func CityParallelDay(tiles int) ParallelCityConfig {
+	return ParallelCityConfig{CityConfig: CityDay(), Tiles: tiles}
+}
+
+// CityParallel100kDay scales the day run to 100k devices, keeping the
+// density of one device per 100 m².
+func CityParallel100kDay(tiles int) ParallelCityConfig {
+	cfg := CityParallelDay(tiles)
+	cfg.Devices = 100_000
+	cfg.Side = math.Round(math.Sqrt(float64(cfg.Devices) * 100))
+	return cfg
+}
+
+// CityParallelMillion is the 1M-device smoke preset: two heartbeat periods
+// at city density. It exists to prove the kernel's memory shape holds at
+// 1M devices, not to be fast; tests gate it behind D2D_CITY_1M=1.
+func CityParallelMillion(tiles int) ParallelCityConfig {
+	cfg := CityParallelShort(tiles)
+	cfg.Devices = 1_000_000
+	cfg.Side = math.Round(math.Sqrt(float64(cfg.Devices) * 100))
+	cfg.Duration = stdProfile().Period + 30*time.Second
+	return cfg
+}
+
+func (c ParallelCityConfig) validate() error {
+	if err := c.CityConfig.validate(); err != nil {
+		return err
+	}
+	if c.Tiles < 1 {
+		return fmt.Errorf("experiments: parallel city tiles must be >= 1, got %d", c.Tiles)
+	}
+	if c.Window < 0 {
+		return fmt.Errorf("experiments: parallel city window must be non-negative, got %v", c.Window)
+	}
+	return nil
+}
+
+// ParallelCityStats extends CityStats with the parallel kernel's own
+// observables.
+type ParallelCityStats struct {
+	CityStats
+	Tiles   int
+	Windows int
+	// Migrations counts device moves between tiles at window boundaries.
+	Migrations int
+	// CrossTileOps counts boundary operations routed between devices
+	// (including same-tile ones — every D2D effect is a boundary op).
+	CrossTileOps int
+	// TraceDigest is the canonical trace digest (empty unless captured).
+	TraceDigest string
+	TraceEvents int
+}
+
+// RunCityParallel builds and runs the tile-sharded city, returning a
+// report with the same shape (and digest format) as the sequential
+// kernel's plus the parallel stats.
+func RunCityParallel(cfg ParallelCityConfig) (*core.Report, ParallelCityStats, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, ParallelCityStats{}, err
+	}
+	window := cfg.Window
+	if window == 0 {
+		window = DefaultParallelWindow
+	}
+	if window > cfg.Duration {
+		window = cfg.Duration
+	}
+
+	pop, err := buildCityPopulation(cfg.CityConfig, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, ParallelCityStats{}, err
+	}
+	grid, err := geo.NewTileGrid(geo.Square(cfg.Side), cfg.Tiles)
+	if err != nil {
+		return nil, ParallelCityStats{}, err
+	}
+	group, err := simtime.NewTileGroup(cfg.Seed, grid.Tiles())
+	if err != nil {
+		return nil, ParallelCityStats{}, err
+	}
+
+	env := &parEnv{
+		cfg:       cfg,
+		profile:   stdProfile(),
+		radio:     radio.WiFiDirectProfile(),
+		model:     energy.DefaultModel(),
+		match:     matching.DefaultConfig(),
+		rrcCfg:    rrc.DefaultConfig(),
+		grid:      grid,
+		numRelays: len(pop.relays),
+		orderOf:   make(map[hbmsg.DeviceID]int, cfg.Devices),
+		traceOn:   cfg.CaptureTrace || cfg.Tracer != nil,
+	}
+	env.beacons, err = d2d.NewBeaconIndex(env.radio.MaxRange())
+	if err != nil {
+		return nil, ParallelCityStats{}, err
+	}
+	env.tiles = make([]*parTile, grid.Tiles())
+	for i := range env.tiles {
+		env.tiles[i] = &parTile{sched: group.Scheduler(i)}
+	}
+
+	n := cfg.Devices
+	env.devices = make([]*pdevice, 0, n)
+	env.posSnap = make([]geo.Point, n)
+	env.advFree = make([]int, n)
+	env.advIntent = make([]int, n)
+	env.advAccepting = make([]bool, n)
+	env.posNext = make([]geo.Point, n)
+	env.advFreeNext = make([]int, n)
+	env.advIntNext = make([]int, n)
+	env.advAccNext = make([]bool, n)
+
+	addDevice := func(d *pdevice) error {
+		d.order = len(env.devices)
+		env.devices = append(env.devices, d)
+		env.orderOf[d.id] = d.order
+		p := d.mob.Pos(0)
+		env.posSnap[d.order] = p
+		d.tile = grid.TileOf(p)
+		tl := env.tiles[d.tile]
+		d.tileIdx = len(tl.devices)
+		tl.devices = append(tl.devices, d)
+		d.agenda = simtime.NewAgenda(tl.sched)
+		d.rng = simtime.NewDerivedRand(cfg.Seed, int64(d.order))
+		d.ledger = energy.NewLedger()
+		var start func()
+		if d.relay != nil {
+			start = d.relayStartPeriod
+		} else {
+			start = d.ueHeartbeat
+		}
+		if _, err := d.agenda.At(d.startOffset, start); err != nil {
+			return fmt.Errorf("experiments: start %s: %w", d.id, err)
+		}
+		return nil
+	}
+	for i := range pop.relays {
+		spec := &pop.relays[i]
+		policy, err := sched.NewNagle(spec.Capacity, env.profile.Period)
+		if err != nil {
+			return nil, ParallelCityStats{}, err
+		}
+		d := &pdevice{
+			env: env, id: spec.ID, role: d2d.RoleRelay,
+			mob: spec.Mobility, startOffset: spec.StartOffset,
+			relay: &prelay{
+				capacity: spec.Capacity,
+				policy:   policy,
+				sources:  make(map[ackKey]int),
+			},
+		}
+		if err := addDevice(d); err != nil {
+			return nil, ParallelCityStats{}, err
+		}
+	}
+	for i := range pop.ues {
+		spec := &pop.ues[i]
+		d := &pdevice{
+			env: env, id: spec.ID, role: d2d.RoleUE,
+			mob: spec.Mobility, startOffset: spec.StartOffset,
+			ue: &pue{relayOrder: -1, pending: make(map[uint64]*ppending)},
+		}
+		if err := addDevice(d); err != nil {
+			return nil, ParallelCityStats{}, err
+		}
+	}
+
+	tracker := presence.NewTracker()
+	digest := trace.NewDigest()
+	stats := ParallelCityStats{Tiles: grid.Tiles()}
+	var deliveries, late int
+	var deliveryBuf []parDelivery
+	var traceBufs [][]trace.Keyed
+
+	begin := func(tile int, _ time.Duration) error {
+		tl := env.tiles[tile]
+		for i := range tl.inOps {
+			env.devices[tl.inOps[i].dst].applyOp(tl.inOps[i])
+		}
+		tl.inOps = tl.inOps[:0]
+		return nil
+	}
+	end := func(tile int, boundary time.Duration) error {
+		tl := env.tiles[tile]
+		final := boundary >= cfg.Duration
+		for _, d := range tl.devices {
+			p := d.pos(boundary)
+			env.posNext[d.order] = p
+			if d.relay != nil {
+				r := d.relay
+				free := 0
+				if r.policy.Accepting() {
+					free = r.capacity - r.policy.Pending()
+				}
+				env.advFreeNext[d.order] = free
+				env.advIntNext[d.order] = d2d.IntentForLoad(r.capacity-free, r.capacity)
+				env.advAccNext[d.order] = r.started
+			}
+			if !final && grid.TileOf(p) != d.tile {
+				tl.migrants = append(tl.migrants, d)
+			}
+		}
+		return nil
+	}
+	barrier := func(boundary time.Duration, final bool) error {
+		stats.Windows++
+		// Network-side deliveries: merge this window's per-tile logs in
+		// canonical (at, via, viaSeq) order and feed the presence tracker.
+		// Within one window instants only grow, so the tracker sees a
+		// monotone stream exactly as in the sequential kernel.
+		deliveryBuf = deliveryBuf[:0]
+		for _, tl := range env.tiles {
+			deliveryBuf = append(deliveryBuf, tl.deliveries...)
+			tl.deliveries = tl.deliveries[:0]
+		}
+		sort.Slice(deliveryBuf, func(i, j int) bool {
+			a, b := deliveryBuf[i], deliveryBuf[j]
+			if a.at != b.at {
+				return a.at < b.at
+			}
+			if a.viaOrder != b.viaOrder {
+				return a.viaOrder < b.viaOrder
+			}
+			return a.viaSeq < b.viaSeq
+		})
+		for i := range deliveryBuf {
+			del := &deliveryBuf[i]
+			deliveries++
+			if !del.onTime {
+				late++
+			}
+			if err := tracker.Deliver(del.hb, del.at); err != nil {
+				return fmt.Errorf("experiments: presence: %w", err)
+			}
+		}
+		if env.traceOn {
+			traceBufs = traceBufs[:0]
+			for _, tl := range env.tiles {
+				traceBufs = append(traceBufs, tl.events)
+			}
+			merged := trace.MergeKeyed(traceBufs...)
+			digest.Add(merged)
+			if cfg.Tracer != nil {
+				for i := range merged {
+					cfg.Tracer.Emit(merged[i].Ev)
+				}
+			}
+			for _, tl := range env.tiles {
+				tl.events = tl.events[:0]
+			}
+		}
+		if final {
+			// Ops queued in the final window would land beyond the horizon;
+			// they are cut, exactly as the sequential kernel leaves queued
+			// timers unfired at the horizon.
+			return nil
+		}
+		// Publish the boundary snapshot the end hooks just wrote.
+		env.posSnap, env.posNext = env.posNext, env.posSnap
+		env.advFree, env.advFreeNext = env.advFreeNext, env.advFree
+		env.advIntent, env.advIntNext = env.advIntNext, env.advIntent
+		env.advAccepting, env.advAccNext = env.advAccNext, env.advAccepting
+		// Migrations before op routing: an op's destination tile is where
+		// the device will spend the next window.
+		for _, tl := range env.tiles {
+			for _, d := range tl.migrants {
+				if err := env.migrate(d, grid.TileOf(env.posSnap[d.order])); err != nil {
+					return err
+				}
+				stats.Migrations++
+			}
+			tl.migrants = tl.migrants[:0]
+		}
+		// Route boundary ops in their global canonical order, split per
+		// destination tile; each tile applies its slice in order at the
+		// start of the next window.
+		var ops []parOp
+		for _, tl := range env.tiles {
+			ops = append(ops, tl.outOps...)
+			tl.outOps = tl.outOps[:0]
+		}
+		sort.Slice(ops, func(i, j int) bool {
+			a, b := ops[i], ops[j]
+			if a.createdAt != b.createdAt {
+				return a.createdAt < b.createdAt
+			}
+			if a.src != b.src {
+				return a.src < b.src
+			}
+			return a.srcSeq < b.srcSeq
+		})
+		for i := range ops {
+			dst := env.devices[ops[i].dst]
+			env.tiles[dst.tile].inOps = append(env.tiles[dst.tile].inOps, ops[i])
+		}
+		stats.CrossTileOps += len(ops)
+		env.rebuildBeacons()
+		return nil
+	}
+
+	if err := group.Run(cfg.Duration, window, begin, end, barrier); err != nil {
+		return nil, ParallelCityStats{}, err
+	}
+
+	devs := make([]*core.DeviceReport, 0, n)
+	totalL3 := 0
+	for _, d := range env.devices {
+		c := d.rrc.countersAt(cfg.Duration)
+		totalL3 += c.L3Messages
+		_, flaps, _ := tracker.Stats(d.id, cfg.Duration)
+		dr := &core.DeviceReport{
+			ID:            d.id,
+			Role:          d.role,
+			Energy:        d.ledger.Snapshot(),
+			Total:         d.ledger.Total(),
+			RRC:           c,
+			Availability:  tracker.Availability(d.id, cfg.Duration),
+			PresenceFlaps: flaps,
+		}
+		if d.relay != nil {
+			st := d.relay.stats
+			dr.Relay = &st
+		} else {
+			st := d.ue.stats
+			dr.UE = &st
+		}
+		devs = append(devs, dr)
+	}
+	rep := core.NewReport(cfg.Duration, devs, totalL3, deliveries, late, cellular.ChannelReport{})
+
+	stats.CityStats = CityStats{
+		Devices:    cfg.Devices,
+		Relays:     env.numRelays,
+		UEs:        cfg.Devices - env.numRelays,
+		Events:     group.Fired(),
+		SimSeconds: cfg.Duration.Seconds(),
+		L3Messages: totalL3,
+		Deliveries: deliveries,
+		OnTimeRate: rep.OnTimeRate(),
+	}
+	if env.traceOn {
+		sum, err := digest.Sum()
+		if err != nil {
+			return nil, ParallelCityStats{}, fmt.Errorf("experiments: trace digest: %w", err)
+		}
+		stats.TraceDigest = sum
+		stats.TraceEvents = digest.Events()
+	}
+	return rep, stats, nil
+}
+
+// migrate moves a device (and its agenda) to a new tile at a window
+// boundary. Runs on the barrier goroutine only.
+func (env *parEnv) migrate(d *pdevice, newTile int) error {
+	old := env.tiles[d.tile]
+	last := len(old.devices) - 1
+	moved := old.devices[last]
+	old.devices[d.tileIdx] = moved
+	moved.tileIdx = d.tileIdx
+	old.devices = old.devices[:last]
+
+	nt := env.tiles[newTile]
+	d.tile = newTile
+	d.tileIdx = len(nt.devices)
+	nt.devices = append(nt.devices, d)
+	if err := d.agenda.Rehome(nt.sched); err != nil {
+		return fmt.Errorf("experiments: migrate %s: %w", d.id, err)
+	}
+	return nil
+}
+
+// rebuildBeacons refreshes the discovery snapshot from the just-sampled
+// advertised state, in population order.
+func (env *parEnv) rebuildBeacons() {
+	env.beaconBuf = env.beaconBuf[:0]
+	for order := 0; order < env.numRelays; order++ {
+		if !env.advAccepting[order] {
+			continue
+		}
+		env.beaconBuf = append(env.beaconBuf, d2d.Beacon{
+			ID:           env.devices[order].id,
+			Order:        order,
+			Pos:          env.posSnap[order],
+			Accepting:    true,
+			FreeCapacity: env.advFree[order],
+			Intent:       env.advIntent[order],
+		})
+	}
+	env.beacons.Rebuild(env.beaconBuf)
+}

@@ -1,0 +1,341 @@
+package experiments
+
+import (
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"d2dhb/internal/trace"
+)
+
+// parGoldenConfig is the pinned equivalence scenario: big enough for every
+// interaction kind (matches, forwards, flushes, acks, fallbacks, busy
+// relays, migrations), small enough that the full seeds × tiles matrix
+// runs in well under a second.
+func parGoldenConfig(seed int64) ParallelCityConfig {
+	return ParallelCityConfig{
+		CityConfig: CityConfig{
+			Seed:          seed,
+			Devices:       400,
+			RelayFraction: 0.10,
+			Side:          200,
+			Duration:      300 * time.Second,
+			Capacity:      16,
+		},
+		Tiles:        1,
+		CaptureTrace: true,
+	}
+}
+
+// parGoldens pins the parallel kernel's output — report digest and
+// canonical trace digest — for the three golden seeds. The values were
+// recorded from the initial implementation; any change to the windowed
+// model's observable behaviour must update them deliberately.
+var parGoldens = map[int64]struct{ rep, trace string }{
+	1: {
+		rep:   "e4d9e1b24ff1f4589c025180f9910d68dea58e491f73d6804a4a1added1c6202",
+		trace: "ce7b02b9b09eec82f38346a675b1ebfc83a187c36bd18b4e743643e730eb83b2",
+	},
+	7: {
+		rep:   "cf13bc259f098309f1c17380709ebdadfa9714e5820a2ec2c40baf8f258afb11",
+		trace: "244c16c4db4b754d57958d4073800e5034a6410657120f8a8886ef2159fe4829",
+	},
+	42: {
+		rep:   "a75bd43189b20b206542646dc1f76971426abff4a03a225cdf7de7470869a3a0",
+		trace: "60b0cde99e9d4768e5bac5de07c2a86fc530a780fb0c762d8c5f92b39118250c",
+	},
+}
+
+// TestCityParallelEquivalenceGolden is the determinism-equivalence suite:
+// for each pinned golden seed, the same city at tiles=1, 4 and 16 must
+// produce bit-identical report digests, trace digests and kernel event
+// counts — and match the pinned goldens.
+func TestCityParallelEquivalenceGolden(t *testing.T) {
+	for seed, want := range parGoldens {
+		for _, tiles := range []int{1, 4, 16} {
+			cfg := parGoldenConfig(seed)
+			cfg.Tiles = tiles
+			rep, st, err := RunCityParallel(cfg)
+			if err != nil {
+				t.Fatalf("seed=%d tiles=%d: %v", seed, tiles, err)
+			}
+			if got := rep.Digest(); got != want.rep {
+				t.Errorf("seed=%d tiles=%d report digest %s, want %s", seed, tiles, got, want.rep)
+			}
+			if st.TraceDigest != want.trace {
+				t.Errorf("seed=%d tiles=%d trace digest %s, want %s", seed, tiles, st.TraceDigest, want.trace)
+			}
+			if st.Tiles != tiles && !(tiles == 1 && st.Tiles == 1) {
+				t.Errorf("seed=%d: stats report %d tiles, want %d", seed, st.Tiles, tiles)
+			}
+		}
+	}
+}
+
+// TestCityParallelEventsPartitionIndependent pins the kernel-event
+// invariant the bench metrics rely on: the number of scheduler events
+// fired is identical for any tile count (every agenda task firing is
+// exactly one scheduler event, wherever the agenda lives).
+func TestCityParallelEventsPartitionIndependent(t *testing.T) {
+	var events []uint64
+	for _, tiles := range []int{1, 4, 16} {
+		cfg := parGoldenConfig(7)
+		cfg.Tiles = tiles
+		cfg.CaptureTrace = false
+		_, st, err := RunCityParallel(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, st.Events)
+	}
+	if events[0] != events[1] || events[0] != events[2] {
+		t.Fatalf("events vary with tile count: %v", events)
+	}
+}
+
+// TestCityParallelBorderStraddlers runs a dense small-area city on a fine
+// tile grid, so the population's vehicles (8–15 m/s) cross tile borders
+// every few windows and static devices sit right on tile edges. Run under
+// -race in CI, it doubles as the border-crossing race test; the digest
+// comparison proves migrations are behaviour-neutral.
+func TestCityParallelBorderStraddlers(t *testing.T) {
+	base := ParallelCityConfig{
+		CityConfig: CityConfig{
+			Seed:          2017,
+			Devices:       200,
+			RelayFraction: 0.15,
+			Side:          100, // 16 tiles of 25 m: vehicles cross every 2-3 windows
+			Duration:      300 * time.Second,
+			Capacity:      8,
+		},
+		Window:       5 * time.Second,
+		CaptureTrace: true,
+	}
+	var reps, traces []string
+	for _, tiles := range []int{1, 16} {
+		cfg := base
+		cfg.Tiles = tiles
+		rep, st, err := RunCityParallel(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps = append(reps, rep.Digest())
+		traces = append(traces, st.TraceDigest)
+		if tiles == 16 && st.Migrations == 0 {
+			t.Error("no migrations in a fast-mover scenario; border crossing untested")
+		}
+	}
+	if reps[0] != reps[1] {
+		t.Errorf("report digests diverge across the border-heavy grid: %s vs %s", reps[0], reps[1])
+	}
+	if traces[0] != traces[1] {
+		t.Errorf("trace digests diverge across the border-heavy grid: %s vs %s", traces[0], traces[1])
+	}
+}
+
+// memTracer retains every emitted event for white-box inspection.
+type memTracer struct {
+	mu  sync.Mutex
+	evs []trace.Event
+}
+
+func (m *memTracer) Emit(ev trace.Event) {
+	m.mu.Lock()
+	m.evs = append(m.evs, ev)
+	m.mu.Unlock()
+}
+
+// TestCityParallelLookaheadDelivery is the border-lookahead white-box
+// test: every successful D2D forward must surface at its relay — as a
+// collect or a reject — at exactly the next window boundary strictly
+// after the send, including sends that land exactly on a boundary.
+// Forwards from the final window have no boundary left and must vanish
+// (the horizon cut).
+func TestCityParallelLookaheadDelivery(t *testing.T) {
+	const windowMs = int64(5000)
+	tr := &memTracer{}
+	cfg := parGoldenConfig(42)
+	cfg.Tiles = 4
+	cfg.Window = time.Duration(windowMs) * time.Millisecond
+	cfg.Tracer = tr
+	_, _, err := RunCityParallel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	horizonMs := cfg.Duration.Milliseconds()
+
+	type key struct {
+		src string
+		seq uint64
+	}
+	arrivals := make(map[key][]int64) // collect/reject instants per forwarded hb
+	sends := 0
+	for _, ev := range tr.evs {
+		switch ev.Kind {
+		case trace.KindCollect, trace.KindReject:
+			k := key{src: ev.Peer, seq: ev.Seq}
+			arrivals[k] = append(arrivals[k], ev.AtMs)
+		}
+	}
+	finalCut := 0
+	for _, ev := range tr.evs {
+		if ev.Kind != trace.KindD2DSend {
+			continue
+		}
+		sends++
+		// The boundary strictly after the send; a send exactly on a
+		// boundary belongs to the window starting there.
+		next := (ev.AtMs/windowMs)*windowMs + windowMs
+		if next >= horizonMs {
+			// The barrier at the horizon is final: its ops are discarded,
+			// so a forward due exactly at the horizon is cut too.
+			finalCut++
+			for _, at := range arrivals[key{src: ev.Device, seq: ev.Seq}] {
+				if at > ev.AtMs {
+					t.Errorf("forward %s/%d sent at %dms inside the final window arrived at %dms past the horizon cut",
+						ev.Device, ev.Seq, ev.AtMs, at)
+				}
+			}
+			continue
+		}
+		found := false
+		for _, at := range arrivals[key{src: ev.Device, seq: ev.Seq}] {
+			if at == next {
+				found = true
+			} else if at > ev.AtMs && at != next {
+				t.Errorf("forward %s/%d sent at %dms arrived at %dms, want the boundary at %dms",
+					ev.Device, ev.Seq, ev.AtMs, at, next)
+			}
+		}
+		if !found {
+			t.Errorf("forward %s/%d sent at %dms never arrived at its boundary %dms",
+				ev.Device, ev.Seq, ev.AtMs, next)
+		}
+	}
+	if sends == 0 {
+		t.Fatal("no D2D forwards in the lookahead scenario")
+	}
+}
+
+// TestCityParallelHorizonCutWholeRun collapses the run into one closed
+// window (window == duration): every forward is created inside the final
+// window, so none may reach a relay, while direct sends and relay flushes
+// still deliver.
+func TestCityParallelHorizonCutWholeRun(t *testing.T) {
+	cfg := parGoldenConfig(1)
+	cfg.Window = cfg.Duration
+	rep, st, err := RunCityParallel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Windows != 1 {
+		t.Fatalf("expected a single window, got %d", st.Windows)
+	}
+	forwards, collected := 0, 0
+	for _, d := range rep.Devices {
+		if d.UE != nil {
+			forwards += d.UE.SentViaD2D
+		}
+		if d.Relay != nil {
+			collected += d.Relay.Collected
+		}
+	}
+	// With no boundary snapshot ever published, no relay is discoverable:
+	// nothing is forwarded and everything goes direct.
+	if forwards != 0 || collected != 0 {
+		t.Errorf("single-window run forwarded %d / collected %d, want 0/0", forwards, collected)
+	}
+	if st.Deliveries == 0 {
+		t.Error("no deliveries at all; direct path broken")
+	}
+}
+
+func TestCityParallelValidation(t *testing.T) {
+	cfg := parGoldenConfig(1)
+	cfg.Tiles = 0
+	if _, _, err := RunCityParallel(cfg); err == nil {
+		t.Error("tiles=0 accepted")
+	}
+	cfg = parGoldenConfig(1)
+	cfg.Window = -time.Second
+	if _, _, err := RunCityParallel(cfg); err == nil {
+		t.Error("negative window accepted")
+	}
+	cfg = parGoldenConfig(1)
+	cfg.Devices = 0
+	if _, _, err := RunCityParallel(cfg); err == nil {
+		t.Error("zero devices accepted")
+	}
+}
+
+// TestCityParallelMillionSmoke proves the kernel's memory shape holds at
+// one million devices. It needs a few GB and a couple of minutes, so it
+// only runs when explicitly requested.
+func TestCityParallelMillionSmoke(t *testing.T) {
+	if os.Getenv("D2D_CITY_1M") != "1" {
+		t.Skip("set D2D_CITY_1M=1 to run the 1M-device smoke")
+	}
+	rep, st, err := RunCityParallel(CityParallelMillion(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deliveries == 0 || rep.Deliveries != st.Deliveries {
+		t.Fatalf("1M smoke: deliveries %d / %d", st.Deliveries, rep.Deliveries)
+	}
+	t.Logf("1M smoke: events=%d deliveries=%d onTime=%.4f migrations=%d",
+		st.Events, st.Deliveries, st.OnTimeRate, st.Migrations)
+}
+
+// FuzzTileMergeVsSequential fuzzes the partition-independence invariant:
+// any (seed, population, tile count, window) must produce the same report
+// and trace digests as the single-tile run of the same configuration.
+func FuzzTileMergeVsSequential(f *testing.F) {
+	f.Add(int64(1), 40, 4, 10)
+	f.Add(int64(7), 80, 9, 7)
+	f.Add(int64(42), 150, 6, 23)
+	f.Add(int64(2017), 20, 2, 1)
+	f.Fuzz(func(t *testing.T, seed int64, devices, tiles, windowSecs int) {
+		devices = 20 + abs(devices)%131
+		tiles = 2 + abs(tiles)%8
+		windowSecs = 1 + abs(windowSecs)%30
+		base := ParallelCityConfig{
+			CityConfig: CityConfig{
+				Seed:          seed,
+				Devices:       devices,
+				RelayFraction: 0.10,
+				Side:          150,
+				Duration:      120 * time.Second,
+				Capacity:      8,
+			},
+			Window:       time.Duration(windowSecs) * time.Second,
+			CaptureTrace: true,
+		}
+		run := func(tiles int) (string, string) {
+			cfg := base
+			cfg.Tiles = tiles
+			rep, st, err := RunCityParallel(cfg)
+			if err != nil {
+				t.Fatalf("tiles=%d: %v", tiles, err)
+			}
+			return rep.Digest(), st.TraceDigest
+		}
+		seqRep, seqTrace := run(1)
+		parRep, parTrace := run(tiles)
+		if parRep != seqRep {
+			t.Errorf("seed=%d devices=%d tiles=%d window=%ds: report digest diverges from tiles=1",
+				seed, devices, tiles, windowSecs)
+		}
+		if parTrace != seqTrace {
+			t.Errorf("seed=%d devices=%d tiles=%d window=%ds: trace digest diverges from tiles=1",
+				seed, devices, tiles, windowSecs)
+		}
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,101 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// TileGrid partitions a rectangular area into rows × cols equal tiles,
+// numbered row-major from the minimum corner. It is the spatial side of
+// the parallel city kernel: each tile maps to one scheduler, and TileOf
+// re-bins a device after it moves.
+//
+// The tile count is factored into the most square rows × cols layout
+// (perfect squares become n×n; primes degrade to 1×n strips), so the
+// usual 1/4/16 tile configurations split both axes evenly.
+type TileGrid struct {
+	area  Rect
+	rows  int
+	cols  int
+	tileW float64
+	tileH float64
+}
+
+// NewTileGrid partitions area into tiles regions. The area must have
+// positive extent on both axes.
+func NewTileGrid(area Rect, tiles int) (*TileGrid, error) {
+	if tiles < 1 {
+		return nil, fmt.Errorf("geo: tile count %d < 1", tiles)
+	}
+	w := area.Max.X - area.Min.X
+	h := area.Max.Y - area.Min.Y
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("geo: tile grid over empty area %+v", area)
+	}
+	cols := int(math.Sqrt(float64(tiles)))
+	for tiles%cols != 0 {
+		cols--
+	}
+	rows := tiles / cols
+	// Favor more columns than rows on non-square factorizations so wide
+	// areas split along their long axis; for squares it makes no difference.
+	if cols < rows {
+		cols, rows = rows, cols
+	}
+	return &TileGrid{
+		area:  area,
+		rows:  rows,
+		cols:  cols,
+		tileW: w / float64(cols),
+		tileH: h / float64(rows),
+	}, nil
+}
+
+// Tiles reports the number of tiles.
+func (g *TileGrid) Tiles() int { return g.rows * g.cols }
+
+// Rows reports the row count of the factored layout.
+func (g *TileGrid) Rows() int { return g.rows }
+
+// Cols reports the column count of the factored layout.
+func (g *TileGrid) Cols() int { return g.cols }
+
+// TileOf maps a point to its tile index. Points outside the area are
+// clamped onto it first, and points exactly on an interior border belong
+// to the higher-index tile, so every point maps to exactly one valid
+// index.
+func (g *TileGrid) TileOf(p Point) int {
+	p = g.area.Clamp(p)
+	cx := int((p.X - g.area.Min.X) / g.tileW)
+	if cx >= g.cols {
+		cx = g.cols - 1
+	}
+	cy := int((p.Y - g.area.Min.Y) / g.tileH)
+	if cy >= g.rows {
+		cy = g.rows - 1
+	}
+	return cy*g.cols + cx
+}
+
+// Bounds reports tile i's rectangle. The union of all tiles is exactly
+// the area; adjacent tiles share their border line.
+func (g *TileGrid) Bounds(i int) (Rect, error) {
+	if i < 0 || i >= g.Tiles() {
+		return Rect{}, fmt.Errorf("geo: tile index %d out of %d", i, g.Tiles())
+	}
+	cy, cx := i/g.cols, i%g.cols
+	min := Point{
+		X: g.area.Min.X + float64(cx)*g.tileW,
+		Y: g.area.Min.Y + float64(cy)*g.tileH,
+	}
+	max := Point{X: min.X + g.tileW, Y: min.Y + g.tileH}
+	// Snap the outer edge to the area bounds so float rounding cannot
+	// leave a sliver uncovered on the last row/column.
+	if cx == g.cols-1 {
+		max.X = g.area.Max.X
+	}
+	if cy == g.rows-1 {
+		max.Y = g.area.Max.Y
+	}
+	return Rect{Min: min, Max: max}, nil
+}

@@ -1,0 +1,113 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTileGridValidation(t *testing.T) {
+	if _, err := NewTileGrid(Square(100), 0); err == nil {
+		t.Fatal("zero tiles accepted")
+	}
+	if _, err := NewTileGrid(Rect{}, 4); err == nil {
+		t.Fatal("empty area accepted")
+	}
+}
+
+func TestTileGridFactorization(t *testing.T) {
+	cases := []struct{ tiles, rows, cols int }{
+		{1, 1, 1},
+		{4, 2, 2},
+		{16, 4, 4},
+		{6, 2, 3},
+		{7, 1, 7},
+		{12, 3, 4},
+	}
+	for _, c := range cases {
+		g, err := NewTileGrid(Square(100), c.tiles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Tiles() != c.tiles || g.Rows() != c.rows || g.Cols() != c.cols {
+			t.Fatalf("tiles=%d: got %dx%d (%d tiles), want %dx%d",
+				c.tiles, g.Rows(), g.Cols(), g.Tiles(), c.rows, c.cols)
+		}
+	}
+}
+
+func TestTileGridTileOfCoversArea(t *testing.T) {
+	area := Square(1000)
+	for _, tiles := range []int{1, 4, 16, 6} {
+		g, err := NewTileGrid(area, tiles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 2000; i++ {
+			p := area.RandomPoint(rng)
+			idx := g.TileOf(p)
+			if idx < 0 || idx >= tiles {
+				t.Fatalf("tiles=%d: TileOf(%+v) = %d out of range", tiles, p, idx)
+			}
+			b, err := g.Bounds(idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !b.Contains(p) {
+				t.Fatalf("tiles=%d: point %+v mapped to tile %d with bounds %+v", tiles, p, idx, b)
+			}
+		}
+	}
+}
+
+func TestTileGridBordersAndOutsidePoints(t *testing.T) {
+	g, err := NewTileGrid(Square(100), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interior border points belong to the higher tile on each axis.
+	if got := g.TileOf(Point{X: 50, Y: 0}); got != 1 {
+		t.Fatalf("border point (50,0) in tile %d, want 1", got)
+	}
+	if got := g.TileOf(Point{X: 0, Y: 50}); got != 2 {
+		t.Fatalf("border point (0,50) in tile %d, want 2", got)
+	}
+	// Corners and outside points clamp to valid tiles.
+	if got := g.TileOf(Point{X: 100, Y: 100}); got != 3 {
+		t.Fatalf("max corner in tile %d, want 3", got)
+	}
+	if got := g.TileOf(Point{X: -5, Y: -5}); got != 0 {
+		t.Fatalf("outside min point in tile %d, want 0", got)
+	}
+	if got := g.TileOf(Point{X: 1e9, Y: 1e9}); got != 3 {
+		t.Fatalf("far outside point in tile %d, want 3", got)
+	}
+}
+
+func TestTileGridBounds(t *testing.T) {
+	g, err := NewTileGrid(Square(90), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Bounds(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := g.Bounds(9); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	b, err := g.Bounds(4) // center tile of the 3x3
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Rect{Min: Point{X: 30, Y: 30}, Max: Point{X: 60, Y: 60}}
+	if b != want {
+		t.Fatalf("center tile bounds %+v, want %+v", b, want)
+	}
+	last, err := g.Bounds(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.Max != (Point{X: 90, Y: 90}) {
+		t.Fatalf("last tile max %+v, want area max", last.Max)
+	}
+}

@@ -1,0 +1,222 @@
+package simtime
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Task is a handle to one pending Agenda action. Unlike a raw Timer
+// handle, a Task stays valid until it fires or is cancelled even when its
+// agenda migrates to another scheduler, which is exactly what a device
+// crossing a tile border needs.
+type Task struct {
+	at    time.Duration
+	stamp uint64
+	fn    func()
+	index int // position in the agenda heap, -1 when fired or cancelled
+}
+
+// At reports the virtual instant the task runs at.
+func (t *Task) At() time.Duration { return t.at }
+
+// Pending reports whether the task is still scheduled.
+func (t *Task) Pending() bool { return t != nil && t.index >= 0 }
+
+// Agenda multiplexes all future actions of one simulated entity onto a
+// single Scheduler timer. The scheduler timer is always armed for the
+// earliest pending task; when it fires, exactly one task runs and the
+// timer is re-armed for the next head.
+//
+// The point of the indirection is migration: Rehome stops the one
+// underlying timer on the old scheduler and arms an equivalent one on the
+// new scheduler. The task set itself — instants, order, callbacks — moves
+// untouched, so a migration can neither drop nor duplicate a scheduled
+// action. Tasks at the same instant run in scheduling (stamp) order.
+type Agenda struct {
+	sched *Scheduler
+	heap  []*Task // binary min-heap ordered by (at, stamp)
+	timer *Timer  // armed for heap[0]; nil when empty or mid-fire
+	stamp uint64
+}
+
+// NewAgenda returns an empty agenda bound to sched.
+func NewAgenda(sched *Scheduler) *Agenda {
+	return &Agenda{sched: sched}
+}
+
+// Scheduler returns the scheduler the agenda is currently homed on.
+func (a *Agenda) Scheduler() *Scheduler { return a.sched }
+
+// Len reports how many tasks are pending.
+func (a *Agenda) Len() int { return len(a.heap) }
+
+// NextAt reports the instant of the earliest pending task.
+func (a *Agenda) NextAt() (time.Duration, bool) {
+	if len(a.heap) == 0 {
+		return 0, false
+	}
+	return a.heap[0].at, true
+}
+
+// At schedules fn at the absolute virtual instant at.
+func (a *Agenda) At(at time.Duration, fn func()) (*Task, error) {
+	if fn == nil {
+		return nil, errors.New("simtime: nil agenda task")
+	}
+	if at < a.sched.Now() {
+		return nil, fmt.Errorf("simtime: agenda task at %v is before now %v", at, a.sched.Now())
+	}
+	t := &Task{at: at, stamp: a.stamp, fn: fn}
+	a.stamp++
+	a.push(t)
+	if a.heap[0] == t {
+		a.rearm()
+	}
+	return t, nil
+}
+
+// After schedules fn to run d after the current virtual time; negative d
+// is treated as zero.
+func (a *Agenda) After(d time.Duration, fn func()) (*Task, error) {
+	if d < 0 {
+		d = 0
+	}
+	return a.At(a.sched.Now()+d, fn)
+}
+
+// Cancel removes a pending task. It returns true if the task was pending
+// and is now cancelled, false if it already ran or was already cancelled.
+func (a *Agenda) Cancel(t *Task) bool {
+	if t == nil || t.index < 0 {
+		return false
+	}
+	head := a.heap[0] == t
+	a.remove(t.index)
+	t.fn = nil
+	if head {
+		a.rearm()
+	}
+	return true
+}
+
+// Rehome moves the agenda — its entire pending task set — onto another
+// scheduler. Both schedulers must agree on the current instant (the
+// caller synchronizes them at a window boundary before migrating), which
+// guarantees every pending task is still in the new scheduler's future.
+func (a *Agenda) Rehome(sched *Scheduler) error {
+	if sched == a.sched {
+		return nil
+	}
+	if sched.Now() != a.sched.Now() {
+		return fmt.Errorf("simtime: rehome across clocks (%v -> %v)", a.sched.Now(), sched.Now())
+	}
+	if a.timer != nil {
+		a.sched.Stop(a.timer)
+		a.timer = nil
+	}
+	a.sched = sched
+	a.rearm()
+	return nil
+}
+
+// fire runs the earliest pending task and re-arms for the next one.
+func (a *Agenda) fire() {
+	a.timer = nil // the underlying timer just fired; the handle is dead
+	t := a.heap[0]
+	a.remove(0)
+	fn := t.fn
+	t.fn = nil
+	fn()
+	a.rearm()
+}
+
+// rearm points the underlying scheduler timer at the current heap head.
+func (a *Agenda) rearm() {
+	if a.timer != nil && (len(a.heap) == 0 || a.timer.At() != a.heap[0].at) {
+		a.sched.Stop(a.timer)
+		a.timer = nil
+	}
+	if len(a.heap) == 0 || a.timer != nil {
+		return
+	}
+	timer, err := a.sched.At(a.heap[0].at, a.fire)
+	if err != nil {
+		// Unreachable by construction: heads are never in the past (At
+		// rejects past instants and Rehome requires synchronized clocks).
+		panic(fmt.Sprintf("simtime: agenda rearm: %v", err))
+	}
+	a.timer = timer
+}
+
+// The agenda heap is a plain binary min-heap by (at, stamp). Agendas hold
+// a handful of tasks (heartbeat, flush, RRC release, feedback timers), so
+// arity tuning buys nothing here.
+
+func taskLess(x, y *Task) bool {
+	if x.at != y.at {
+		return x.at < y.at
+	}
+	return x.stamp < y.stamp
+}
+
+func (a *Agenda) push(t *Task) {
+	t.index = len(a.heap)
+	a.heap = append(a.heap, t)
+	a.siftUp(t.index)
+}
+
+func (a *Agenda) remove(i int) {
+	h := a.heap
+	n := len(h) - 1
+	t := h[i]
+	last := h[n]
+	h[n] = nil
+	a.heap = h[:n]
+	if i != n {
+		last.index = i
+		a.heap[i] = last
+		a.siftDown(i)
+		a.siftUp(last.index)
+	}
+	t.index = -1
+}
+
+func (a *Agenda) siftUp(i int) {
+	h := a.heap
+	t := h[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !taskLess(t, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].index = i
+		i = p
+	}
+	h[i] = t
+	t.index = i
+}
+
+func (a *Agenda) siftDown(i int) {
+	h := a.heap
+	n := len(h)
+	t := h[i]
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && taskLess(h[c+1], h[c]) {
+			c++
+		}
+		if !taskLess(h[c], t) {
+			break
+		}
+		h[i] = h[c]
+		h[i].index = i
+		i = c
+	}
+	h[i] = t
+	t.index = i
+}

@@ -1,0 +1,228 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAgendaRunsTasksInOrder(t *testing.T) {
+	s := NewScheduler(1)
+	a := NewAgenda(s)
+	var got []int
+	if _, err := a.At(3*time.Second, func() { got = append(got, 3) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.At(1*time.Second, func() { got = append(got, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.At(2*time.Second, func() { got = append(got, 2) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntil(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("ran %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ran %v, want %v", got, want)
+		}
+	}
+	if a.Len() != 0 {
+		t.Fatalf("agenda still holds %d tasks", a.Len())
+	}
+}
+
+func TestAgendaSameInstantStampOrder(t *testing.T) {
+	s := NewScheduler(1)
+	a := NewAgenda(s)
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if _, err := a.At(time.Second, func() { got = append(got, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant tasks ran as %v, want scheduling order", got)
+		}
+	}
+}
+
+func TestAgendaCancel(t *testing.T) {
+	s := NewScheduler(1)
+	a := NewAgenda(s)
+	ran := false
+	task, err := a.At(time.Second, func() { ran = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	later := 0
+	if _, err := a.At(2*time.Second, func() { later++ }); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Cancel(task) {
+		t.Fatal("Cancel returned false for a pending task")
+	}
+	if a.Cancel(task) {
+		t.Fatal("double Cancel returned true")
+	}
+	if task.Pending() {
+		t.Fatal("cancelled task still pending")
+	}
+	if err := s.RunUntil(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("cancelled task ran")
+	}
+	if later != 1 {
+		t.Fatalf("surviving task ran %d times, want 1", later)
+	}
+}
+
+func TestAgendaCancelHeadKeepsSameInstantSibling(t *testing.T) {
+	s := NewScheduler(1)
+	a := NewAgenda(s)
+	var got []int
+	head, err := a.At(time.Second, func() { got = append(got, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.At(time.Second, func() { got = append(got, 1) }); err != nil {
+		t.Fatal(err)
+	}
+	a.Cancel(head)
+	if err := s.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("ran %v, want just the sibling", got)
+	}
+}
+
+func TestAgendaReschedulesFromCallback(t *testing.T) {
+	s := NewScheduler(1)
+	a := NewAgenda(s)
+	fires := 0
+	var tick func()
+	tick = func() {
+		fires++
+		if fires < 4 {
+			if _, err := a.After(time.Second, tick); err != nil {
+				t.Errorf("reschedule: %v", err)
+			}
+		}
+	}
+	if _, err := a.After(time.Second, tick); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fires != 4 {
+		t.Fatalf("fired %d times, want 4", fires)
+	}
+	if got := s.Fired(); got != 4 {
+		t.Fatalf("scheduler fired %d events for 4 agenda tasks", got)
+	}
+}
+
+func TestAgendaRejectsPastAndNil(t *testing.T) {
+	s := NewScheduler(1)
+	if err := s.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAgenda(s)
+	if _, err := a.At(500*time.Millisecond, func() {}); err == nil {
+		t.Fatal("scheduling in the past succeeded")
+	}
+	if _, err := a.At(2*time.Second, nil); err == nil {
+		t.Fatal("nil task accepted")
+	}
+	if _, err := a.After(-time.Second, func() {}); err != nil {
+		t.Fatalf("negative After should clamp to now: %v", err)
+	}
+}
+
+func TestAgendaRehomeMovesPendingTasks(t *testing.T) {
+	s1 := NewScheduler(1)
+	s2 := NewScheduler(2)
+	a := NewAgenda(s1)
+	var got []int
+	for i := 1; i <= 3; i++ {
+		i := i
+		if _, err := a.At(time.Duration(i)*time.Second, func() { got = append(got, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Run the first task on s1, sync both clocks to 1.5s, migrate.
+	if err := s1.RunUntil(1500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.RunUntil(1500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Rehome(s2); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Pending() != 0 {
+		t.Fatalf("old scheduler still holds %d timers after rehome", s1.Pending())
+	}
+	if err := s1.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("ran %v, want all three tasks exactly once", got)
+	}
+	for i := range got {
+		if got[i] != i+1 {
+			t.Fatalf("ran %v, want order preserved across rehome", got)
+		}
+	}
+}
+
+func TestAgendaRehomeRejectsClockSkew(t *testing.T) {
+	s1 := NewScheduler(1)
+	s2 := NewScheduler(2)
+	a := NewAgenda(s1)
+	if _, err := a.At(time.Second, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.RunUntil(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Rehome(s2); err == nil {
+		t.Fatal("rehome across skewed clocks succeeded")
+	}
+}
+
+func TestAgendaRehomeEmptyAndSameScheduler(t *testing.T) {
+	s1 := NewScheduler(1)
+	s2 := NewScheduler(2)
+	a := NewAgenda(s1)
+	if err := a.Rehome(s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Rehome(s2); err != nil {
+		t.Fatal(err)
+	}
+	if a.Scheduler() != s2 {
+		t.Fatal("agenda not homed on new scheduler")
+	}
+	if _, err := a.At(time.Second, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Pending() != 1 {
+		t.Fatalf("new scheduler holds %d timers, want 1", s2.Pending())
+	}
+}

@@ -1,0 +1,46 @@
+package simtime
+
+import "math/rand"
+
+// DeriveSeed expands a root seed and a stream index into an independent
+// seed using SplitMix64 finalization (Steele et al., "Fast Splittable
+// Pseudorandom Number Generators"). Nearby (seed, stream) pairs map to
+// uncorrelated outputs, so one scenario seed can fan out into one stream
+// per tile and per device without manual seed bookkeeping.
+func DeriveSeed(seed, stream int64) int64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(stream)*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// splitmix is a SplitMix64 generator behind the rand.Source64 interface.
+// Unlike rand.NewSource (whose lagged-Fibonacci state is ~5 KB), its state
+// is 8 bytes, which is what makes one generator per device affordable at
+// the million-device scale.
+type splitmix struct{ state uint64 }
+
+func (s *splitmix) Seed(seed int64) { s.state = uint64(seed) }
+
+func (s *splitmix) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+func (s *splitmix) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// NewDerivedRand returns a seeded *rand.Rand on the (seed, stream)
+// SplitMix64 stream. Draw-for-draw deterministic and cheap enough to
+// allocate per device.
+func NewDerivedRand(seed, stream int64) *rand.Rand {
+	return rand.New(&splitmix{state: uint64(DeriveSeed(seed, stream))})
+}

@@ -187,6 +187,33 @@ func (s *Scheduler) RunUntil(horizon time.Duration) error {
 // finishes. It is intended to be called from inside an event function.
 func (s *Scheduler) StopRun() { s.stopped = true }
 
+// NextAt reports the instant of the earliest queued event, or false when
+// the queue is empty. It lets a windowed driver (TileGroup) decide whether
+// the next event belongs to the current synchronization window without
+// executing it.
+func (s *Scheduler) NextAt() (time.Duration, bool) {
+	if len(s.queue) == 0 {
+		return 0, false
+	}
+	return s.queue[0].at, true
+}
+
+// AdvanceTo moves the clock forward to t without executing any event. It
+// is the window-boundary primitive: a tile that has drained its events
+// strictly before a boundary jumps its clock to the boundary so every
+// tile agrees on "now" when cross-tile state is exchanged. Advancing past
+// a queued event is rejected — that would silently skip it.
+func (s *Scheduler) AdvanceTo(t time.Duration) error {
+	if t < s.now {
+		return fmt.Errorf("simtime: advance to %v is before now %v", t, s.now)
+	}
+	if len(s.queue) > 0 && s.queue[0].at < t {
+		return fmt.Errorf("simtime: advance to %v would skip event at %v", t, s.queue[0].at)
+	}
+	s.now = t
+	return nil
+}
+
 // The event queue is a 4-ary min-heap laid out in a slice: children of node
 // i live at 4i+1..4i+4. Compared with the binary container/heap it halves
 // the tree depth, replaces interface dispatch with direct calls and keeps
