@@ -98,6 +98,7 @@ cluster-smoke:
 # (decode must error or round-trip bit-identically).
 fuzz:
 	$(GO) test -fuzz=FuzzReadFrame -fuzztime=30s ./internal/hbproto
+	$(GO) test -fuzz=FuzzFrameReaderStream -fuzztime=30s ./internal/hbproto
 	$(GO) test -fuzz=FuzzKernelVsHeapModel -fuzztime=30s ./internal/simtime
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/rec
 	$(GO) test -fuzz=FuzzTileMergeVsSequential -fuzztime=30s ./internal/experiments

@@ -8,6 +8,7 @@ package main
 // this command: the simulation layers deal only in virtual time.
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -22,14 +23,17 @@ import (
 	"d2dhb/internal/experiments"
 	"d2dhb/internal/geo"
 	"d2dhb/internal/hbmsg"
+	"d2dhb/internal/hbproto"
+	"d2dhb/internal/loadgen"
 	"d2dhb/internal/radio"
+	"d2dhb/internal/rec"
 	"d2dhb/internal/simtime"
 )
 
 // runBench executes the whole trajectory and writes BENCH_<rev>.json into
 // outDir (current directory when empty). An existing report for the same
 // revision is a committed baseline and is never overwritten without force.
-func runBench(seed int64, rev, cityPreset, cityParPreset, outDir string, force bool) error {
+func runBench(seed int64, rev, cityPreset, cityParPreset, parityTrace, outDir string, force bool) error {
 	path := filepath.Join(outDir, fmt.Sprintf("BENCH_%s.json", rev))
 	if !force {
 		if _, err := os.Stat(path); err == nil {
@@ -123,6 +127,9 @@ func runBench(seed int64, rev, cityPreset, cityParPreset, outDir string, force b
 		rep.CityParallel = points
 	}
 
+	fmt.Fprintf(os.Stderr, "bench: live wire path...\n")
+	rep.LivePath = benchLivePath(parityTrace)
+
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -146,7 +153,131 @@ func runBench(seed int64, rev, cityPreset, cityParPreset, outDir string, force b
 		fmt.Printf("city_parallel-%s: %d devices, %d tiles, %d cores: %.0f sim-s in %.1f wall-s (%.0f events/sec)\n",
 			p.Preset, p.Devices, p.Tiles, p.Cores, p.SimSeconds, p.WallMs/1000, p.EventsPerSec)
 	}
+	if lp := rep.LivePath; lp != nil {
+		fmt.Printf("live_path: hb %.0f/%.0f ns enc/dec (%.2f/%.2f allocs), batch-%d %.0f/%.0f ns (%.2f/%.2f allocs)\n",
+			lp.EncodeHeartbeatNs, lp.DecodeHeartbeatNs, lp.EncodeHeartbeatAllocs, lp.DecodeHeartbeatAllocs,
+			lp.BatchEntries, lp.EncodeBatchNs, lp.DecodeBatchNs, lp.EncodeBatchAllocs, lp.DecodeBatchAllocs)
+		if p := lp.Parity; p != nil {
+			fmt.Printf("live_path parity: sim %.4f vs live %.4f delivery (gap %.4f, sim digest %s)\n",
+				p.SimDeliveryRatio, p.LiveDeliveryRatio, p.DeliveryGap, p.SimDigest)
+		}
+	}
 	return nil
+}
+
+// benchLivePath measures the zero-allocation wire path: per-frame cost of
+// the pooled append-encoder and the streaming decoder for a single
+// heartbeat and a liveBatchEntries-heartbeat batch, plus — when the corpus
+// trace is readable — the record/replay parity summary (the same trace
+// through the deterministic sim and the live loopback stack). A missing
+// trace skips the parity block with a note instead of failing the whole
+// trajectory, so the codec numbers still land in stripped checkouts.
+func benchLivePath(parityTrace string) *benchcmp.LivePathBench {
+	const liveBatchEntries = 32
+	origin := time.Now()
+	hb := &hbproto.Heartbeat{
+		Src: "bench-ue-0001", Seq: 42, App: "WeChat",
+		Origin: origin, Expiry: 270 * time.Second, Pad: 54,
+	}
+	batch := &hbproto.Batch{Relay: "bench-relay-01", HBs: make([]hbproto.Heartbeat, liveBatchEntries)}
+	for i := range batch.HBs {
+		batch.HBs[i] = hbproto.Heartbeat{
+			Src: fmt.Sprintf("bench-ue-%04d", i), Seq: uint64(i + 1), App: "WeChat",
+			Origin: origin, Expiry: 270 * time.Second, Pad: 54,
+		}
+	}
+
+	lp := &benchcmp.LivePathBench{BatchEntries: liveBatchEntries}
+	lp.EncodeHeartbeatNs, lp.EncodeHeartbeatAllocs, lp.HeartbeatFrameBytes = benchEncode(hb, 1_000_000)
+	lp.DecodeHeartbeatNs, lp.DecodeHeartbeatAllocs = benchDecode(hb, 1_000_000)
+	lp.EncodeBatchNs, lp.EncodeBatchAllocs, lp.BatchFrameBytes = benchEncode(batch, 100_000)
+	lp.DecodeBatchNs, lp.DecodeBatchAllocs = benchDecode(batch, 100_000)
+
+	if parityTrace == "" || parityTrace == "none" {
+		return lp
+	}
+	tl, err := rec.ReadFile(parityTrace)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: live_path parity skipped: %v\n", err)
+		return lp
+	}
+	sim, err := experiments.ReplaySim(tl)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: live_path parity skipped (sim replay): %v\n", err)
+		return lp
+	}
+	fmt.Fprintf(os.Stderr, "bench: live replay of %s (%d clients, %d sends)...\n",
+		parityTrace, len(tl.Clients), tl.Sends())
+	live, err := loadgen.ReplayLive(tl, loadgen.ReplayOptions{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: live_path parity skipped (live replay): %v\n", err)
+		return lp
+	}
+	p := rec.NewParityReport(tl, tl.RecordedMetrics(), sim, live)
+	lp.Parity = &benchcmp.LiveParity{
+		Trace:                 filepath.Base(parityTrace),
+		TraceDigest:           p.TraceDigest,
+		RecordedDeliveryRatio: p.Recorded.DeliveryRatio,
+		SimDeliveryRatio:      p.Sim.DeliveryRatio,
+		LiveDeliveryRatio:     p.Live.DeliveryRatio,
+		DeliveryGap:           p.DeliveryGap(),
+		SimDigest:             p.SimDigest,
+	}
+	return lp
+}
+
+// benchEncode times AppendFrame into a reused buffer, the steady state of
+// every coalesced flush, reporting per-frame ns and allocations plus the
+// encoded size.
+func benchEncode(msg hbproto.Message, iters int) (nsPer, allocsPer float64, frameBytes int) {
+	buf, err := hbproto.AppendFrame(nil, msg)
+	if err != nil {
+		panic(err)
+	}
+	frameBytes = len(buf)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := hbproto.AppendFrame(buf[:0], msg); err != nil {
+			panic(err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return float64(elapsed.Nanoseconds()) / float64(iters),
+		float64(after.Mallocs-before.Mallocs) / float64(iters),
+		frameBytes
+}
+
+// benchDecode times the FrameReader steady state: one warmed reader
+// re-reading the same frame, the hot path of every server/relay/UE read
+// loop.
+func benchDecode(msg hbproto.Message, iters int) (nsPer, allocsPer float64) {
+	frame, err := hbproto.AppendFrame(nil, msg)
+	if err != nil {
+		panic(err)
+	}
+	r := bytes.NewReader(frame)
+	fr := hbproto.NewFrameReader(r)
+	if _, err := fr.Next(); err != nil { // warm-up: sizes scratch, interns strings
+		panic(err)
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		r.Reset(frame)
+		if _, err := fr.Next(); err != nil {
+			panic(err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return float64(elapsed.Nanoseconds()) / float64(iters),
+		float64(after.Mallocs-before.Mallocs) / float64(iters)
 }
 
 // benchCores is the core-count ladder for the parallel city runs: 1, 2

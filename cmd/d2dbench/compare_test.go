@@ -85,7 +85,7 @@ func TestBenchRefusesOverwrite(t *testing.T) {
 	if err := os.WriteFile(path, []byte("{}"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := runBench(1, "ci", "none", "none", dir, false)
+	err := runBench(1, "ci", "none", "none", "none", dir, false)
 	if err == nil || !strings.Contains(err.Error(), "-force") {
 		t.Fatalf("overwrite not refused: %v", err)
 	}

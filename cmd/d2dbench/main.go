@@ -43,6 +43,8 @@ func main() {
 		city     = flag.String("city", "short", "city preset for -json: short, day or none")
 		cityPar  = flag.String("city-parallel", "both", "parallel city presets for -json: short, day, both or none")
 		force    = flag.Bool("force", false, "with -json, overwrite an existing BENCH_<rev>.json baseline")
+		parity   = flag.String("parity-trace", "internal/loadgen/testdata/corpus/trunked_cluster_3shard.d2dr",
+			"with -json, trace file for the live_path parity summary (\"none\" skips it)")
 		compare  = flag.Bool("compare", false, "compare two bench reports: d2dbench -compare OLD.json NEW.json")
 		diffJSON = flag.String("diff-json", "", "with -compare, also write the machine-readable diff to this file")
 	)
@@ -65,7 +67,7 @@ func main() {
 		}
 	}
 	if *jsonMode {
-		if err := runBench(*seed, *rev, strings.ToLower(*city), strings.ToLower(*cityPar), *out, *force); err != nil {
+		if err := runBench(*seed, *rev, strings.ToLower(*city), strings.ToLower(*cityPar), *parity, *out, *force); err != nil {
 			fmt.Fprintln(os.Stderr, "d2dbench:", err)
 			os.Exit(1)
 		}

@@ -8,7 +8,8 @@
 //	d2dload [-ues 1000] [-relays 2] [-relay-ratio 0.25] [-apps wechat:2,qq:1]
 //	        [-duration 10s] [-speedup 100] [-arrival steady|ramp|spike]
 //	        [-window 0] [-report 5s] [-timeout 0] [-capacity 0]
-//	        [-server host:port] [-cluster url] [-trunks 0] [-json path] [-fault spec]
+//	        [-server host:port] [-cluster url] [-trunks 0] [-trunk-pace 0]
+//	        [-json path] [-fault spec]
 //	        [-telemetry host:port] [-metrics host:port] [-record trace.d2dr]
 //	d2dload -replay trace.d2dr [-server host:port | -cluster url] [-speedup 100] [-fault spec] [-json path]
 //
@@ -69,6 +70,7 @@ func main() {
 		server     = flag.String("server", "", "external presence server address (default: in-process)")
 		clusterA   = flag.String("cluster", "", "presence cluster router URL or host:port (see d2dcluster; excludes -server)")
 		trunks     = flag.Int("trunks", 0, "multiplex the fleet over this many relay-trunk connections (excludes -relays)")
+		trunkPace  = flag.Int("trunk-pace", 0, "spread each trunk period over this many emission slots (0/1 = burst; deterministic user->slot hash)")
 		jsonPath   = flag.String("json", "", "write the final JSON report to this file instead of stdout")
 		fault      = flag.String("fault", "", "fault-injection spec, e.g. seed=42,latency=5ms,corrupt=0.01,partition=3s+1s")
 		telemAddr  = flag.String("telemetry", "", "serve the run's own /metrics, /metrics.json and pprof on this address")
@@ -85,7 +87,7 @@ func main() {
 		return
 	}
 	if err := run(*ues, *relays, *relayRatio, *apps, *duration, *speedup,
-		*arrival, *window, *report, *timeout, *capacity, *server, *clusterA, *trunks,
+		*arrival, *window, *report, *timeout, *capacity, *server, *clusterA, *trunks, *trunkPace,
 		*jsonPath, *fault, *telemAddr, *metrics, *record); err != nil {
 		fmt.Fprintln(os.Stderr, "d2dload:", err)
 		os.Exit(1)
@@ -142,7 +144,7 @@ func runReplay(path, server, clusterAddr string, speedup float64, fault, jsonPat
 
 func run(ues, relays int, relayRatio float64, apps string, duration time.Duration,
 	speedup float64, arrival string, window, report, timeout time.Duration,
-	capacity int, server, clusterAddr string, trunks int,
+	capacity int, server, clusterAddr string, trunks, trunkPace int,
 	jsonPath, fault, telemAddr, metricsAddr, recordPath string) error {
 	raiseFDLimit()
 	shape, err := loadgen.ParseArrivalShape(arrival)
@@ -158,21 +160,22 @@ func run(ues, relays int, relayRatio float64, apps string, duration time.Duratio
 		return err
 	}
 	cfg := loadgen.Config{
-		UEs:           ues,
-		Relays:        relays,
-		RelayRatio:    relayRatio,
-		Profiles:      profiles,
-		Speedup:       speedup,
-		Duration:      duration,
-		Arrival:       loadgen.Schedule{Shape: shape, Window: window},
-		AckTimeout:    timeout,
-		RelayCapacity: capacity,
-		ReportEvery:   report,
-		ServerAddr:    server,
-		ClusterAddr:   clusterAddr,
-		Trunks:        trunks,
-		Faults:        faults,
-		MetricsAddr:   metricsAddr,
+		UEs:            ues,
+		Relays:         relays,
+		RelayRatio:     relayRatio,
+		Profiles:       profiles,
+		Speedup:        speedup,
+		Duration:       duration,
+		Arrival:        loadgen.Schedule{Shape: shape, Window: window},
+		AckTimeout:     timeout,
+		RelayCapacity:  capacity,
+		ReportEvery:    report,
+		ServerAddr:     server,
+		ClusterAddr:    clusterAddr,
+		Trunks:         trunks,
+		TrunkPaceSlots: trunkPace,
+		Faults:         faults,
+		MetricsAddr:    metricsAddr,
 	}
 	var recorder *rec.Recorder
 	if recordPath != "" {
@@ -203,7 +206,11 @@ func run(ues, relays int, relayRatio float64, apps string, duration time.Duratio
 	fmt.Printf("d2dload: %d UEs (%d relays, ratio %.2f), %s arrival, %v at %gx speedup\n",
 		ues, relays, relayRatio, shape, duration, speedup)
 	if trunks > 0 {
-		fmt.Printf("d2dload: trunked fleet, %d trunks\n", trunks)
+		if trunkPace > 1 {
+			fmt.Printf("d2dload: trunked fleet, %d trunks, paced over %d slots\n", trunks, trunkPace)
+		} else {
+			fmt.Printf("d2dload: trunked fleet, %d trunks\n", trunks)
+		}
 	}
 	if clusterAddr != "" {
 		fmt.Printf("d2dload: cluster target %s\n", clusterAddr)

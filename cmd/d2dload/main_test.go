@@ -43,7 +43,7 @@ func TestRecordReplayCLI(t *testing.T) {
 	dir := t.TempDir()
 	trace := filepath.Join(dir, "run.d2dr")
 	err := run(6, 0, 0, "std", 300*time.Millisecond, 200, "steady",
-		0, 0, 0, 0, "", "", 2, "", "", "", "", trace)
+		0, 0, 0, 0, "", "", 2, 0, "", "", "", "", trace)
 	if err != nil {
 		t.Fatalf("record run: %v", err)
 	}

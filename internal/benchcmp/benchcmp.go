@@ -25,6 +25,12 @@ type Report struct {
 	// recorded before the parallel kernel existed; Compare grandfathers
 	// that case (see compareCityParallel).
 	CityParallel []CityParallelBench `json:"city_parallel,omitempty"`
+	// LivePath holds the wire-path steady-state measurements (pooled
+	// append-encode / streaming-decode cost for the hot frame shapes) and
+	// the record/replay parity summary. Absent from baselines recorded
+	// before the zero-allocation codec existed; Compare grandfathers that
+	// case (see compareLivePath).
+	LivePath *LivePathBench `json:"live_path,omitempty"`
 }
 
 // KernelBench is the event-kernel steady-state measurement.
@@ -75,6 +81,46 @@ type CityParallelBench struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 	Deliveries   int     `json:"deliveries"`
 	OnTimeRate   float64 `json:"on_time_rate"`
+}
+
+// LivePathBench measures the wire path's steady state: per-frame cost of
+// the pooled append-encoder and the streaming decoder for the two hot
+// shapes (a single heartbeat and a BatchEntries-heartbeat batch), the
+// encoded frame sizes, and — when the committed corpus trace is available —
+// the record/replay parity summary, so `d2dbench -compare` trends codec
+// cost and sim/live fidelity revision over revision.
+type LivePathBench struct {
+	BatchEntries int `json:"batch_entries"`
+
+	EncodeHeartbeatNs     float64 `json:"encode_heartbeat_ns"`
+	EncodeHeartbeatAllocs float64 `json:"encode_heartbeat_allocs"`
+	DecodeHeartbeatNs     float64 `json:"decode_heartbeat_ns"`
+	DecodeHeartbeatAllocs float64 `json:"decode_heartbeat_allocs"`
+	HeartbeatFrameBytes   int     `json:"heartbeat_frame_bytes"`
+
+	EncodeBatchNs     float64 `json:"encode_batch_ns"`
+	EncodeBatchAllocs float64 `json:"encode_batch_allocs"`
+	DecodeBatchNs     float64 `json:"decode_batch_ns"`
+	DecodeBatchAllocs float64 `json:"decode_batch_allocs"`
+	BatchFrameBytes   int     `json:"batch_frame_bytes"`
+
+	Parity *LiveParity `json:"parity,omitempty"`
+}
+
+// LiveParity is the record/replay parity-gap summary folded into the bench
+// trajectory: the same trace replayed through the deterministic sim and
+// the live TCP stack, with the absolute delivery-ratio gap as the headline
+// fidelity number. SimDeliveryRatio and SimDigest are deterministic; the
+// live column (and therefore the gap) carries wall-clock noise, so its
+// comparison rule is loose.
+type LiveParity struct {
+	Trace                 string  `json:"trace"`
+	TraceDigest           string  `json:"trace_digest"`
+	RecordedDeliveryRatio float64 `json:"recorded_delivery_ratio"`
+	SimDeliveryRatio      float64 `json:"sim_delivery_ratio"`
+	LiveDeliveryRatio     float64 `json:"live_delivery_ratio"`
+	DeliveryGap           float64 `json:"delivery_gap"` // |sim − live|
+	SimDigest             string  `json:"sim_digest"`
 }
 
 // Load reads and parses one bench report.

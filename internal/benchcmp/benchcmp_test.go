@@ -37,6 +37,20 @@ func baseline() *Report {
 			{Preset: "parshort", Devices: 10000, Tiles: 16, Cores: 4, SimSeconds: 570,
 				Events: 600_000, WallMs: 110, EventsPerSec: 5.4e6, Deliveries: 19_000, OnTimeRate: 0.94},
 		},
+		LivePath: &LivePathBench{
+			BatchEntries:      32,
+			EncodeHeartbeatNs: 90, EncodeHeartbeatAllocs: 0,
+			DecodeHeartbeatNs: 130, DecodeHeartbeatAllocs: 0,
+			HeartbeatFrameBytes: 53,
+			EncodeBatchNs:       1900, EncodeBatchAllocs: 0,
+			DecodeBatchNs: 2600, DecodeBatchAllocs: 0,
+			BatchFrameBytes: 1400,
+			Parity: &LiveParity{
+				Trace: "trunked_cluster_3shard.d2dr", TraceDigest: "abcd1234",
+				RecordedDeliveryRatio: 0.97, SimDeliveryRatio: 0.98,
+				LiveDeliveryRatio: 0.96, DeliveryGap: 0.02, SimDigest: "feed5678",
+			},
+		},
 	}
 }
 
@@ -366,5 +380,123 @@ func TestLoad(t *testing.T) {
 	}
 	if _, err := Load(norev); err == nil {
 		t.Fatal("revision-less report accepted")
+	}
+}
+
+// TestLivePathAllocRegressionFails: the zero-alloc wire path must stay
+// zero-alloc — a fraction of an allocation per frame over the 0.5 floor
+// fails regardless of how small it looks.
+func TestLivePathAllocRegressionFails(t *testing.T) {
+	old := baseline()
+	bad := baseline()
+	bad.LivePath.DecodeBatchAllocs = 1
+	d := Compare(old, bad)
+	f := findingFor(t, d, "live_path.decode_batch_allocs")
+	if f.Severity != SevFail {
+		t.Fatalf("alloc regression not failed: %+v", f)
+	}
+	// Sub-floor noise (a pool interaction flickering 0 → 0.3) passes.
+	noisy := baseline()
+	noisy.LivePath.EncodeHeartbeatAllocs = 0.3
+	if d := Compare(old, noisy); d.Failed() {
+		t.Fatalf("sub-floor alloc noise failed the gate: %+v", d.Regressions())
+	}
+}
+
+// TestLivePathNsRegression: codec timing obeys the loose wall-clock rule —
+// big relative+absolute growth fails, floor-level jitter passes.
+func TestLivePathNsRegression(t *testing.T) {
+	old := baseline()
+	bad := baseline()
+	bad.LivePath.EncodeHeartbeatNs = 900 // 10× and +810 ns
+	if f := findingFor(t, Compare(old, bad), "live_path.encode_heartbeat_ns"); f.Severity != SevFail {
+		t.Fatalf("10x encode slowdown not failed: %+v", f)
+	}
+	noisy := baseline()
+	noisy.LivePath.DecodeHeartbeatNs = 380 // ~3× but only +250 ns, under the 300 ns floor
+	if d := Compare(old, noisy); d.Failed() {
+		t.Fatalf("floor-level codec noise failed the gate: %+v", d.Regressions())
+	}
+}
+
+// TestLivePathFrameSizeChangeIsInfo: encoded frame sizes are deterministic
+// wire facts; drift reports as info, never fail.
+func TestLivePathFrameSizeChangeIsInfo(t *testing.T) {
+	old := baseline()
+	changed := baseline()
+	changed.LivePath.BatchFrameBytes += 64
+	f := findingFor(t, Compare(old, changed), "live_path.batch_frame_bytes")
+	if f.Severity != SevInfo || !strings.Contains(f.Note, "wire format") {
+		t.Fatalf("frame size drift not info: %+v", f)
+	}
+}
+
+// TestLivePathGrandfather: baselines without a live_path section never
+// fail on it (the section phases in as info), but once a baseline carries
+// it, a new report that loses it fails.
+func TestLivePathGrandfather(t *testing.T) {
+	old := baseline()
+	old.LivePath = nil
+	d := Compare(old, baseline())
+	f := findingFor(t, d, "live_path.encode_heartbeat_ns")
+	if f.Severity != SevInfo || d.Failed() {
+		t.Fatalf("grandfathered section not info: %+v (failed=%v)", f, d.Failed())
+	}
+
+	lost := baseline()
+	lost.LivePath = nil
+	d = Compare(baseline(), lost)
+	if f := findingFor(t, d, "live_path.encode_heartbeat_ns"); f.Severity != SevFail {
+		t.Fatalf("dropped live_path section not failed: %+v", f)
+	}
+}
+
+// TestParityGapRules: the sim column is deterministic (digest drift →
+// info), and only a large absolute widening of the sim-vs-live delivery
+// gap fails — live-replay noise under the 0.10 floor passes.
+func TestParityGapRules(t *testing.T) {
+	old := baseline()
+	wide := baseline()
+	wide.LivePath.Parity.LiveDeliveryRatio = 0.80
+	wide.LivePath.Parity.DeliveryGap = 0.18
+	if f := findingFor(t, Compare(old, wide), "live_path.parity.delivery_gap"); f.Severity != SevFail {
+		t.Fatalf("widened parity gap not failed: %+v", f)
+	}
+
+	noisy := baseline()
+	noisy.LivePath.Parity.DeliveryGap = 0.09 // +0.07, under the 0.10 growth bound
+	if d := Compare(old, noisy); d.Failed() {
+		t.Fatalf("sub-floor parity noise failed the gate: %+v", d.Regressions())
+	}
+
+	drift := baseline()
+	drift.LivePath.Parity.SimDigest = "other"
+	drift.LivePath.Parity.SimDeliveryRatio = 0.975
+	if f := findingFor(t, Compare(old, drift), "live_path.parity.sim_delivery_ratio"); f.Severity != SevInfo {
+		t.Fatalf("sim digest drift not info: %+v", f)
+	}
+
+	// A different corpus trace makes the gap columns incomparable: info,
+	// skip.
+	swapped := baseline()
+	swapped.LivePath.Parity.TraceDigest = "ffff0000"
+	d := Compare(old, swapped)
+	if f := findingFor(t, d, "live_path.parity.trace"); f.Severity != SevInfo {
+		t.Fatalf("trace swap not info: %+v", f)
+	}
+	if d.Failed() {
+		t.Fatalf("trace swap failed the gate: %+v", d.Regressions())
+	}
+
+	// Grandfather for the sub-block alone: a baseline whose live_path has
+	// no parity (trace absent on that box) phases in as info; losing a
+	// recorded parity block fails.
+	noParity := baseline()
+	noParity.LivePath.Parity = nil
+	if d := Compare(noParity, baseline()); d.Failed() {
+		t.Fatalf("parity phase-in failed the gate: %+v", d.Regressions())
+	}
+	if f := findingFor(t, Compare(baseline(), noParity), "live_path.parity.delivery_gap"); f.Severity != SevFail {
+		t.Fatalf("dropped parity block not failed: %+v", f)
 	}
 }

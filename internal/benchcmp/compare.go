@@ -105,6 +105,9 @@ var (
 	ruleFigureMs    = rule{rel: 2.0, floor: 150}    // ms/figure
 	ruleCityMs      = rule{rel: 2.0, floor: 500}    // ms city macro-run
 	cityOnTimeDrop  = 0.01                          // absolute on-time-rate drop that fails
+	ruleCodecNs     = rule{rel: 2.0, floor: 300}    // ns/frame encode or decode
+	ruleCodecAlloc  = rule{rel: 0, floor: 0.5}      // allocs/frame: the zero-alloc wire path must stay zero-alloc
+	parityGapGrow   = 0.10                          // absolute sim-vs-live delivery-gap growth that fails
 )
 
 // exceeded reports whether new regresses past the rule relative to old.
@@ -204,7 +207,110 @@ func Compare(old, new *Report) *Diff {
 
 	d.compareCity(old.City, new.City)
 	d.compareCityParallel(old.CityParallel, new.CityParallel)
+	d.compareLivePath(old.LivePath, new.LivePath)
 	return d
+}
+
+// compareLivePath handles the wire-path section.
+//
+// Grandfather rule, same as compareCityParallel: a baseline recorded
+// before the zero-allocation codec existed has no live_path section, and
+// that absence is not a regression — new measurements report as SevInfo.
+// Once a baseline carries the section, losing it from the new report fails.
+func (d *Diff) compareLivePath(old, new *LivePathBench) {
+	switch {
+	case old == nil && new == nil:
+		return
+	case old == nil:
+		d.Findings = append(d.Findings, Finding{
+			Metric: "live_path.encode_heartbeat_ns", New: new.EncodeHeartbeatNs,
+			Severity: SevInfo, Note: "new measurement (no baseline section)",
+		})
+		return
+	case new == nil:
+		d.Findings = append(d.Findings, Finding{
+			Metric: "live_path.encode_heartbeat_ns", Old: old.EncodeHeartbeatNs,
+			Severity: SevFail, Note: "live_path missing from new report",
+		})
+		return
+	}
+	d.compareMetric("live_path.encode_heartbeat_ns", old.EncodeHeartbeatNs, new.EncodeHeartbeatNs, ruleCodecNs)
+	d.compareMetric("live_path.encode_heartbeat_allocs", old.EncodeHeartbeatAllocs, new.EncodeHeartbeatAllocs, ruleCodecAlloc)
+	d.compareMetric("live_path.decode_heartbeat_ns", old.DecodeHeartbeatNs, new.DecodeHeartbeatNs, ruleCodecNs)
+	d.compareMetric("live_path.decode_heartbeat_allocs", old.DecodeHeartbeatAllocs, new.DecodeHeartbeatAllocs, ruleCodecAlloc)
+	d.compareMetric("live_path.encode_batch_ns", old.EncodeBatchNs, new.EncodeBatchNs, ruleCodecNs)
+	d.compareMetric("live_path.encode_batch_allocs", old.EncodeBatchAllocs, new.EncodeBatchAllocs, ruleCodecAlloc)
+	d.compareMetric("live_path.decode_batch_ns", old.DecodeBatchNs, new.DecodeBatchNs, ruleCodecNs)
+	d.compareMetric("live_path.decode_batch_allocs", old.DecodeBatchAllocs, new.DecodeBatchAllocs, ruleCodecAlloc)
+	// Frame sizes are deterministic wire facts: any drift is a format
+	// change worth eyeballing, not a perf regression.
+	for _, c := range []struct {
+		name     string
+		old, new float64
+	}{
+		{"live_path.heartbeat_frame_bytes", float64(old.HeartbeatFrameBytes), float64(new.HeartbeatFrameBytes)},
+		{"live_path.batch_frame_bytes", float64(old.BatchFrameBytes), float64(new.BatchFrameBytes)},
+	} {
+		f := Finding{Metric: c.name, Old: c.old, New: c.new, RelChange: relChange(c.old, c.new), Severity: SevOK}
+		if c.old != c.new {
+			f.Severity = SevInfo
+			f.Note = "wire format size changed"
+		}
+		d.Findings = append(d.Findings, f)
+	}
+	d.compareParity(old.Parity, new.Parity)
+}
+
+// compareParity handles the record/replay parity sub-block: the sim column
+// is deterministic (drift is a behavior diff, reported as info), the live
+// column rides real TCP so only a large absolute growth of the sim-vs-live
+// delivery gap fails.
+func (d *Diff) compareParity(old, new *LiveParity) {
+	switch {
+	case old == nil && new == nil:
+		return
+	case old == nil:
+		d.Findings = append(d.Findings, Finding{
+			Metric: "live_path.parity.delivery_gap", New: new.DeliveryGap,
+			Severity: SevInfo, Note: "new measurement (no baseline section)",
+		})
+		return
+	case new == nil:
+		d.Findings = append(d.Findings, Finding{
+			Metric: "live_path.parity.delivery_gap", Old: old.DeliveryGap,
+			Severity: SevFail, Note: "parity summary missing from new report",
+		})
+		return
+	}
+	if old.TraceDigest != new.TraceDigest {
+		d.Findings = append(d.Findings, Finding{
+			Metric:   "live_path.parity.trace",
+			Severity: SevInfo,
+			Note:     fmt.Sprintf("corpus trace changed %s → %s; skipping gap comparison", old.TraceDigest, new.TraceDigest),
+		})
+		return
+	}
+	f := Finding{
+		Metric: "live_path.parity.sim_delivery_ratio",
+		Old:    old.SimDeliveryRatio, New: new.SimDeliveryRatio,
+		RelChange: relChange(old.SimDeliveryRatio, new.SimDeliveryRatio), Severity: SevOK,
+	}
+	if old.SimDigest != new.SimDigest {
+		f.Severity = SevInfo
+		f.Note = "sim replay digest changed (behavior diff)"
+	}
+	d.Findings = append(d.Findings, f)
+	g := Finding{
+		Metric: "live_path.parity.delivery_gap",
+		Old:    old.DeliveryGap, New: new.DeliveryGap,
+		RelChange: relChange(old.DeliveryGap, new.DeliveryGap),
+		Floor:     parityGapGrow, Severity: SevOK,
+	}
+	if new.DeliveryGap-old.DeliveryGap > parityGapGrow {
+		g.Severity = SevFail
+		g.Note = "sim-vs-live delivery gap widened"
+	}
+	d.Findings = append(d.Findings, g)
 }
 
 // compareCity handles the optional city macro-run block.

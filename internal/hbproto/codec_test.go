@@ -1,0 +1,417 @@
+package hbproto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// oldWriteFrame is the pre-codec encoder, kept verbatim as the reference
+// implementation: AppendFrame must produce byte-identical frames.
+func oldWriteFrame(w *bytes.Buffer, msg Message) error {
+	if msg == nil {
+		return errors.New("hbproto: nil message")
+	}
+	var body buffer
+	msg.encode(&body)
+	if len(body.data) > MaxFrameSize {
+		return ErrFrameTooBig
+	}
+	header := make([]byte, 0, 8+len(body.data)+4)
+	header = append(header, magic[0], magic[1], Version, byte(msg.Type()))
+	header = binary.BigEndian.AppendUint32(header, uint32(len(body.data)))
+	header = append(header, body.data...)
+	header = binary.BigEndian.AppendUint32(header, crc32.ChecksumIEEE(body.data))
+	_, err := w.Write(header)
+	return err
+}
+
+// corpusMessages generates a deterministic spread of messages across all
+// five types and a range of string lengths, batch sizes and field values.
+func corpusMessages(seed int64, n int) []Message {
+	rng := rand.New(rand.NewSource(seed))
+	str := func() string {
+		b := make([]byte, rng.Intn(24))
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		return string(b)
+	}
+	hb := func() Heartbeat {
+		return Heartbeat{
+			Src: str(), Seq: rng.Uint64() >> uint(rng.Intn(64)),
+			App:    str(),
+			Origin: time.UnixMilli(rng.Int63n(1 << 45)).UTC(),
+			Expiry: time.Duration(rng.Intn(1e9)),
+			Pad:    rng.Intn(MaxFrameSize),
+		}
+	}
+	refs := func() []Ref {
+		out := make([]Ref, rng.Intn(40))
+		for i := range out {
+			out[i] = Ref{Src: str(), Seq: rng.Uint64()}
+		}
+		return out
+	}
+	msgs := make([]Message, 0, n)
+	for i := 0; i < n; i++ {
+		switch i % 5 {
+		case 0:
+			msgs = append(msgs, &Register{
+				ID: str(), Role: Role(1 + rng.Intn(2)), App: str(),
+				Period: time.Duration(rng.Intn(1e9)), Expiry: time.Duration(rng.Intn(1e9)),
+			})
+		case 1:
+			h := hb()
+			msgs = append(msgs, &h)
+		case 2:
+			hbs := make([]Heartbeat, rng.Intn(40))
+			for j := range hbs {
+				hbs[j] = hb()
+			}
+			msgs = append(msgs, &Batch{Relay: str(), HBs: hbs})
+		case 3:
+			msgs = append(msgs, &Ack{Refs: refs()})
+		default:
+			msgs = append(msgs, &Feedback{Refs: refs()})
+		}
+	}
+	return msgs
+}
+
+// TestAppendFrameMatchesWriteFrame proves the new encoder byte-identical
+// to the old one over a generated corpus covering every message type.
+func TestAppendFrameMatchesWriteFrame(t *testing.T) {
+	for i, msg := range corpusMessages(77, 200) {
+		var want bytes.Buffer
+		if err := oldWriteFrame(&want, msg); err != nil {
+			t.Fatalf("msg %d: old encoder: %v", i, err)
+		}
+		got, err := AppendFrame(nil, msg)
+		if err != nil {
+			t.Fatalf("msg %d: AppendFrame: %v", i, err)
+		}
+		if !bytes.Equal(got, want.Bytes()) {
+			t.Fatalf("msg %d (%v): frames differ\n new %x\n old %x",
+				i, msg.Type(), got, want.Bytes())
+		}
+		// The wrapper path must also match.
+		var viaWrapper bytes.Buffer
+		if err := WriteFrame(&viaWrapper, msg); err != nil {
+			t.Fatalf("msg %d: WriteFrame: %v", i, err)
+		}
+		if !bytes.Equal(viaWrapper.Bytes(), want.Bytes()) {
+			t.Fatalf("msg %d: WriteFrame wrapper diverges from old encoder", i)
+		}
+	}
+}
+
+// TestAppendFrameComposes appends several frames into one buffer and
+// decodes them back through both ReadFrame and FrameReader.
+func TestAppendFrameComposes(t *testing.T) {
+	msgs := corpusMessages(78, 25)
+	var buf []byte
+	for _, m := range msgs {
+		var err error
+		if buf, err = AppendFrame(buf, m); err != nil {
+			t.Fatalf("AppendFrame: %v", err)
+		}
+	}
+	r := bytes.NewReader(buf)
+	for i, want := range msgs {
+		got, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	fr := NewFrameReader(bytes.NewReader(buf))
+	for i, want := range msgs {
+		got, err := fr.Next()
+		if err != nil {
+			t.Fatalf("FrameReader frame %d: %v", i, err)
+		}
+		if got.Type() != want.Type() || !reflect.DeepEqual(got, want) {
+			t.Fatalf("FrameReader frame %d: got %+v, want %+v", i, got, want)
+		}
+	}
+}
+
+// TestAppendFrameErrors covers the nil and oversize paths, and that an
+// error leaves dst unextended.
+func TestAppendFrameErrors(t *testing.T) {
+	dst := []byte("prefix")
+	out, err := AppendFrame(dst, nil)
+	if err == nil {
+		t.Fatal("nil message accepted")
+	}
+	if string(out) != "prefix" {
+		t.Fatalf("dst extended on error: %q", out)
+	}
+	big := &Batch{Relay: "r", HBs: make([]Heartbeat, MaxFrameSize/8)}
+	out, err = AppendFrame(dst, big)
+	if !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("err = %v, want ErrFrameTooBig", err)
+	}
+	if string(out) != "prefix" {
+		t.Fatal("dst extended on oversize frame")
+	}
+}
+
+func TestErrTrailingBytesSentinel(t *testing.T) {
+	// Hand-build a frame whose payload has valid content plus junk.
+	var body buffer
+	(&Ack{}).encode(&body)
+	body.data = append(body.data, 0xAA)
+	var frame bytes.Buffer
+	frame.Write([]byte{'H', 'B', Version, byte(TypeAck)})
+	frame.Write([]byte{0, 0, 0, byte(len(body.data))})
+	frame.Write(body.data)
+	sum := crc32.ChecksumIEEE(body.data)
+	frame.Write([]byte{byte(sum >> 24), byte(sum >> 16), byte(sum >> 8), byte(sum)})
+	raw := frame.Bytes()
+
+	if _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrTrailingBytes) {
+		t.Fatalf("ReadFrame err = %v, want ErrTrailingBytes", err)
+	}
+	if _, err := NewFrameReader(bytes.NewReader(raw)).Next(); !errors.Is(err, ErrTrailingBytes) {
+		t.Fatalf("FrameReader err = %v, want ErrTrailingBytes", err)
+	}
+}
+
+func TestFrameReaderReadInto(t *testing.T) {
+	var buf []byte
+	var err error
+	want := &Ack{Refs: []Ref{{Src: "a", Seq: 1}, {Src: "b", Seq: 2}}}
+	if buf, err = AppendFrame(buf, want); err != nil {
+		t.Fatal(err)
+	}
+	if buf, err = AppendFrame(buf, &Heartbeat{Src: "x", Seq: 3, App: "std", Origin: time.UnixMilli(9).UTC(), Expiry: time.Second, Pad: 54}); err != nil {
+		t.Fatal(err)
+	}
+	fr := NewFrameReader(bytes.NewReader(buf))
+	var ack Ack
+	if err := fr.ReadInto(&ack); err != nil {
+		t.Fatalf("ReadInto: %v", err)
+	}
+	if !reflect.DeepEqual(&ack, want) {
+		t.Fatalf("got %+v, want %+v", ack, want)
+	}
+	// Wrong expected type: sentinel error, stream positioned past frame.
+	if err := fr.ReadInto(&ack); !errors.Is(err, ErrUnexpectedType) {
+		t.Fatalf("err = %v, want ErrUnexpectedType", err)
+	}
+}
+
+// TestFrameReaderReuseIsolation pins the documented aliasing contract:
+// values from Next are only valid until the following call, and interned
+// strings are stable across frames.
+func TestFrameReaderReuseIsolation(t *testing.T) {
+	var buf []byte
+	var err error
+	for seq := uint64(1); seq <= 3; seq++ {
+		b := &Batch{Relay: "r-1", HBs: []Heartbeat{
+			{Src: "ue-a", Seq: seq, App: "std", Origin: time.UnixMilli(int64(seq)).UTC(), Expiry: time.Second, Pad: 54},
+		}}
+		if buf, err = AppendFrame(buf, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(bytes.NewReader(buf))
+	first, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstBatch := first.(*Batch)
+	src1, relay1 := firstBatch.HBs[0].Src, firstBatch.Relay
+	second, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	secondBatch := second.(*Batch)
+	if firstBatch != secondBatch {
+		t.Fatal("Batch value not reused across Next calls")
+	}
+	if secondBatch.HBs[0].Seq != 2 {
+		t.Fatalf("seq = %d, want 2", secondBatch.HBs[0].Seq)
+	}
+	// Interned strings: same backing string handed out each time.
+	if secondBatch.HBs[0].Src != src1 || secondBatch.Relay != relay1 {
+		t.Fatal("interned strings changed across frames")
+	}
+}
+
+// TestFrameReaderBuffered checks pipelining detection: with two frames in
+// one buffer, Buffered is non-zero after the first read and zero after
+// the second.
+func TestFrameReaderBuffered(t *testing.T) {
+	var buf []byte
+	var err error
+	for i := 0; i < 2; i++ {
+		if buf, err = AppendFrame(buf, &Ack{Refs: []Ref{{Src: "a", Seq: uint64(i)}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(bytes.NewReader(buf))
+	if _, err := fr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Buffered() == 0 {
+		t.Fatal("second pipelined frame not visible in Buffered")
+	}
+	if _, err := fr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fr.Buffered(); got != 0 {
+		t.Fatalf("Buffered = %d after drain, want 0", got)
+	}
+}
+
+// TestFrameReaderErrors routes each corrupted-header case through the
+// streaming decoder.
+func TestFrameReaderErrors(t *testing.T) {
+	frame, err := AppendFrame(nil, &Ack{Refs: []Ref{{Src: "a", Seq: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(i int, v byte) []byte {
+		raw := append([]byte(nil), frame...)
+		raw[i] = v
+		return raw
+	}
+	cases := []struct {
+		name string
+		raw  []byte
+		want error
+	}{
+		{"bad magic", mutate(0, 'X'), ErrBadMagic},
+		{"bad version", mutate(2, 99), ErrBadVersion},
+		{"unknown type", mutate(3, 200), ErrUnknownType},
+		{"bad checksum", mutate(len(frame)-1, frame[len(frame)-1]^0xFF), ErrBadChecksum},
+		{"oversize", []byte{'H', 'B', Version, byte(TypeAck), 0xFF, 0xFF, 0xFF, 0xFF}, ErrFrameTooBig},
+	}
+	for _, tc := range cases {
+		if _, err := NewFrameReader(bytes.NewReader(tc.raw)).Next(); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	// Truncations all error and never panic.
+	for cut := 0; cut < len(frame); cut++ {
+		if _, err := NewFrameReader(bytes.NewReader(frame[:cut])).Next(); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+// TestInternTableBounded pins the intern cache cap: beyond max entries it
+// stops inserting but keeps returning correct strings.
+func TestInternTableBounded(t *testing.T) {
+	tbl := newInternTable(4)
+	for i := 0; i < 16; i++ {
+		s := fmt.Sprintf("id-%d", i)
+		if got := tbl.get([]byte(s)); got != s {
+			t.Fatalf("get(%q) = %q", s, got)
+		}
+	}
+	if len(tbl.m) != 4 {
+		t.Fatalf("intern table grew to %d entries, cap 4", len(tbl.m))
+	}
+	// Hits still served for cached entries.
+	if got := tbl.get([]byte("id-0")); got != "id-0" {
+		t.Fatalf("cached hit = %q", got)
+	}
+}
+
+// steadyMessages is the fixed message set used by the alloc pins: one of
+// each type, with the 32-entry batch the acceptance criteria call out.
+func steadyMessages() []Message {
+	hbs := make([]Heartbeat, 32)
+	refs := make([]Ref, 32)
+	for i := range hbs {
+		src := fmt.Sprintf("ue-%04d", i)
+		hbs[i] = Heartbeat{
+			Src: src, Seq: uint64(i), App: "std",
+			Origin: time.UnixMilli(int64(1700000000000 + i)).UTC(),
+			Expiry: 270 * time.Second, Pad: 54,
+		}
+		refs[i] = Ref{Src: src, Seq: uint64(i)}
+	}
+	return []Message{
+		&Register{ID: "ue-0001", Role: RoleUE, App: "std", Period: 270 * time.Second, Expiry: 270 * time.Second},
+		&hbs[0],
+		&Batch{Relay: "relay-1", HBs: hbs},
+		&Ack{Refs: refs},
+		&Feedback{Refs: refs},
+	}
+}
+
+// TestEncodeZeroAllocs pins 0 steady-state allocations per encoded frame
+// for every message type once the destination buffer has warmed up.
+func TestEncodeZeroAllocs(t *testing.T) {
+	for _, msg := range steadyMessages() {
+		msg := msg
+		buf := make([]byte, 0, 4096)
+		var err error
+		allocs := testing.AllocsPerRun(200, func() {
+			if buf, err = AppendFrame(buf[:0], msg); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%v encode: %.1f allocs/frame, want 0", msg.Type(), allocs)
+		}
+	}
+}
+
+// TestDecodeZeroAllocs pins 0 steady-state allocations per decoded frame
+// for every message type: after a warm-up frame the FrameReader's scratch
+// buffer, message values, slices and intern table absorb everything.
+func TestDecodeZeroAllocs(t *testing.T) {
+	for _, msg := range steadyMessages() {
+		frame, err := AppendFrame(nil, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := bytes.NewReader(nil)
+		fr := NewFrameReader(r)
+		r.Reset(frame)
+		if _, err := fr.Next(); err != nil { // warm-up: sizes scratch, interns strings
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			r.Reset(frame)
+			if _, err := fr.Next(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%v decode: %.1f allocs/frame, want 0", msg.Type(), allocs)
+		}
+	}
+}
+
+// TestWriteFramePooledZeroAllocs pins the wrapper path: pooled buffer
+// reuse keeps the single-frame WriteFrame allocation-free too.
+func TestWriteFramePooledZeroAllocs(t *testing.T) {
+	msg := steadyMessages()[1]
+	var sink bytes.Buffer
+	sink.Grow(1 << 16)
+	allocs := testing.AllocsPerRun(200, func() {
+		sink.Reset()
+		if err := WriteFrame(&sink, msg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One alloc of slack: pool Get/Put may interact with GC mid-run.
+	if allocs > 1 {
+		t.Errorf("WriteFrame: %.1f allocs/frame, want <= 1", allocs)
+	}
+}

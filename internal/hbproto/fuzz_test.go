@@ -3,6 +3,7 @@ package hbproto
 import (
 	"bytes"
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -66,6 +67,61 @@ func FuzzReadFrame(f *testing.F) {
 		}
 		if again.Type() != msg.Type() {
 			t.Fatalf("type changed across round-trip: %v vs %v", again.Type(), msg.Type())
+		}
+	})
+}
+
+// FuzzFrameReaderStream differentially fuzzes the zero-alloc streaming
+// decoder against ReadFrame over coalesced multi-frame buffers — the
+// exact byte layout AppendFrame-composed flushes put on the wire. Both
+// decoders must accept/reject the same prefix of every input and agree
+// on each decoded message.
+func FuzzFrameReaderStream(f *testing.F) {
+	mkFrame := func(m Message) []byte {
+		frame, err := AppendFrame(nil, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return frame
+	}
+	hb := mkFrame(&Heartbeat{Src: "ue-1", Seq: 7, App: "QQ", Origin: time.UnixMilli(1500000000000).UTC(), Expiry: time.Minute, Pad: 378})
+	batch := mkFrame(&Batch{Relay: "r", HBs: []Heartbeat{{Src: "a", Seq: 1, App: "x", Origin: time.UnixMilli(1).UTC(), Expiry: time.Second, Pad: 54}}})
+	ack := mkFrame(&Ack{Refs: []Ref{{Src: "a", Seq: 1}}})
+	fb := mkFrame(&Feedback{Refs: []Ref{{Src: "b", Seq: 2}}})
+	reg := mkFrame(&Register{ID: "ue-1", Role: RoleUE, App: "WeChat", Period: 270 * time.Second, Expiry: 270 * time.Second})
+
+	// Seed coalesced buffers: homogeneous runs, mixed pipelines, a stream
+	// cut mid-frame, and one with a corrupted middle frame.
+	concat := func(frames ...[]byte) []byte {
+		var out []byte
+		for _, fr := range frames {
+			out = append(out, fr...)
+		}
+		return out
+	}
+	f.Add(concat(hb, hb, hb, hb))
+	f.Add(concat(batch, ack, fb, reg, hb))
+	f.Add(concat(ack, ack, ack[:len(ack)-3]))
+	damaged := concat(hb, batch, hb)
+	damaged[len(hb)+9] ^= 0x40
+	f.Add(damaged)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bytes.NewReader(data))
+		ref := bytes.NewReader(data)
+		for i := 0; ; i++ {
+			got, errNew := fr.Next()
+			want, errOld := ReadFrame(ref)
+			if (errNew == nil) != (errOld == nil) {
+				t.Fatalf("frame %d: FrameReader err %v, ReadFrame err %v", i, errNew, errOld)
+			}
+			if errNew != nil {
+				return
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("frame %d: FrameReader %+v != ReadFrame %+v", i, got, want)
+			}
 		}
 	})
 }

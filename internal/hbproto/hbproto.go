@@ -43,7 +43,30 @@ var (
 	ErrFrameTooBig = errors.New("hbproto: frame exceeds size limit")
 	ErrUnknownType = errors.New("hbproto: unknown message type")
 	ErrTruncated   = errors.New("hbproto: truncated payload")
+	// ErrTrailingBytes reports a frame whose payload decoded cleanly but
+	// left unconsumed bytes — a framing bug or corruption that survived
+	// the checksum.
+	ErrTrailingBytes = errors.New("hbproto: trailing bytes in payload")
+	// ErrUnexpectedType reports a frame whose wire type does not match
+	// what the caller asked FrameReader.ReadInto to decode.
+	ErrUnexpectedType = errors.New("hbproto: unexpected message type")
 )
+
+func errTrailing(n int) error {
+	return fmt.Errorf("%w: %d", ErrTrailingBytes, n)
+}
+
+func errBadVersion(v byte) error {
+	return fmt.Errorf("%w: %d", ErrBadVersion, v)
+}
+
+func errUnknownType(t byte) error {
+	return fmt.Errorf("%w: %d", ErrUnknownType, t)
+}
+
+func errUnexpectedType(got, want MsgType) error {
+	return fmt.Errorf("%w: got %v, want %v", ErrUnexpectedType, got, want)
+}
 
 // MsgType identifies a protocol message.
 type MsgType byte
@@ -216,7 +239,13 @@ func (m *Batch) decode(b *buffer) (err error) {
 	if n > MaxFrameSize/8 {
 		return fmt.Errorf("%w: batch of %d", ErrFrameTooBig, n)
 	}
-	m.HBs = make([]Heartbeat, n)
+	// Reuse slice capacity on decode-into (FrameReader): a fresh Batch
+	// has a nil slice and allocates exactly as before.
+	if m.HBs != nil && uint64(cap(m.HBs)) >= n {
+		m.HBs = m.HBs[:n]
+	} else {
+		m.HBs = make([]Heartbeat, n)
+	}
 	for i := range m.HBs {
 		if err := m.HBs[i].decode(b); err != nil {
 			return err
@@ -269,7 +298,12 @@ func decodeRefs(b *buffer, out *[]Ref) error {
 	if n > MaxFrameSize/4 {
 		return fmt.Errorf("%w: %d refs", ErrFrameTooBig, n)
 	}
-	refs := make([]Ref, n)
+	refs := *out
+	if refs != nil && uint64(cap(refs)) >= n {
+		refs = refs[:n]
+	} else {
+		refs = make([]Ref, n)
+	}
 	for i := range refs {
 		if refs[i].Src, err = b.rstr(); err != nil {
 			return err
@@ -282,28 +316,25 @@ func decodeRefs(b *buffer, out *[]Ref) error {
 	return nil
 }
 
-// WriteFrame encodes and writes one message.
+// WriteFrame encodes and writes one message as one Write. It is a thin
+// wrapper over AppendFrame with a pooled buffer; multi-frame callers
+// should compose AppendFrame output themselves to coalesce syscalls.
 func WriteFrame(w io.Writer, msg Message) error {
-	if msg == nil {
-		return errors.New("hbproto: nil message")
+	fb := framePool.Get().(*frameBuf)
+	out, err := AppendFrame(fb.b[:0], msg)
+	if err == nil {
+		_, err = w.Write(out)
 	}
-	var body buffer
-	msg.encode(&body)
-	if len(body.data) > MaxFrameSize {
-		return ErrFrameTooBig
-	}
-	header := make([]byte, 0, 8+len(body.data)+4)
-	header = append(header, magic[0], magic[1], Version, byte(msg.Type()))
-	header = binary.BigEndian.AppendUint32(header, uint32(len(body.data)))
-	header = append(header, body.data...)
-	header = binary.BigEndian.AppendUint32(header, crc32.ChecksumIEEE(body.data))
-	_, err := w.Write(header)
+	fb.b = out[:0]
+	framePool.Put(fb)
 	return err
 }
 
-// ReadFrame reads and decodes one message.
+// ReadFrame reads and decodes one message, allocating a fresh Message per
+// call. Streaming consumers should use FrameReader, which reuses payload
+// scratch and message values across frames.
 func ReadFrame(r io.Reader) (Message, error) {
-	var head [8]byte
+	var head [headerSize]byte
 	if _, err := io.ReadFull(r, head[:]); err != nil {
 		return nil, err
 	}
@@ -311,7 +342,7 @@ func ReadFrame(r io.Reader) (Message, error) {
 		return nil, ErrBadMagic
 	}
 	if head[2] != Version {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, head[2])
+		return nil, errBadVersion(head[2])
 	}
 	length := binary.BigEndian.Uint32(head[4:8])
 	if length > MaxFrameSize {
@@ -329,12 +360,8 @@ func ReadFrame(r io.Reader) (Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &buffer{data: body}
-	if err := msg.decode(b); err != nil {
+	if err := decodeBody(msg, body, nil); err != nil {
 		return nil, err
-	}
-	if b.pos != len(b.data) {
-		return nil, fmt.Errorf("hbproto: %d trailing bytes", len(b.data)-b.pos)
 	}
 	return msg, nil
 }
@@ -352,14 +379,17 @@ func newMessage(t MsgType) (Message, error) {
 	case TypeFeedback:
 		return &Feedback{}, nil
 	default:
-		return nil, fmt.Errorf("%w: %d", ErrUnknownType, byte(t))
+		return nil, errUnknownType(byte(t))
 	}
 }
 
 // buffer is a simple append/consume byte buffer with varint helpers.
+// When intern is set, decoded strings are canonicalized through it so
+// steady-state decoding allocates nothing per frame.
 type buffer struct {
-	data []byte
-	pos  int
+	data   []byte
+	pos    int
+	intern *internTable
 }
 
 func (b *buffer) u64(v uint64) { b.data = binary.AppendUvarint(b.data, v) }
@@ -404,7 +434,10 @@ func (b *buffer) rstr() (string, error) {
 	if n > math.MaxInt32 || b.pos+int(n) > len(b.data) {
 		return "", ErrTruncated
 	}
-	s := string(b.data[b.pos : b.pos+int(n)])
+	raw := b.data[b.pos : b.pos+int(n)]
 	b.pos += int(n)
-	return s, nil
+	if b.intern != nil {
+		return b.intern.get(raw), nil
+	}
+	return string(raw), nil
 }

@@ -68,6 +68,14 @@ type Config struct {
 	// ephemeral ports around a few tens of thousands per destination).
 	// Requires Relays == 0.
 	Trunks int
+	// TrunkPaceSlots spreads each trunk period's emissions across this many
+	// sub-ticks instead of bursting the whole fleet at once: users are
+	// assigned to slots by a deterministic hash (seeded jitter — no RNG, no
+	// wall clock), every user still emits exactly once per period, and the
+	// open-loop schedule is preserved. ≤1 disables pacing (the default, so
+	// existing runs and recorded corpora are bit-identical). Ignored unless
+	// Trunks > 0.
+	TrunkPaceSlots int
 	// Tracer is attached to the spawned server and relays when non-nil.
 	Tracer trace.Tracer
 	// HistShards sets the latency histogram shard count. Zero selects 8.
@@ -109,6 +117,9 @@ func (c Config) validate() error {
 	if c.Trunks > 0 && c.Relays > 0 {
 		return fmt.Errorf("loadgen: trunks and relays are mutually exclusive (%d/%d)", c.Trunks, c.Relays)
 	}
+	if c.TrunkPaceSlots < 0 {
+		return fmt.Errorf("loadgen: negative trunk pace slots %d", c.TrunkPaceSlots)
+	}
 	if c.ClusterAddr != "" && c.ServerAddr != "" {
 		return fmt.Errorf("loadgen: cluster and server targets are mutually exclusive")
 	}
@@ -139,6 +150,10 @@ type fleetCounters struct {
 	// owning shard after the relay path failed to confirm them in time
 	// (cluster mode only).
 	fallbackResends atomic.Uint64
+	// trunkWrites/trunkFrames account the coalesced trunk uplink: Batch
+	// frames composed vs conn.Write calls issued. frames − writes is the
+	// syscall count the single-buffer flush saved.
+	trunkWrites, trunkFrames atomic.Uint64
 }
 
 // loadUnit is one independently scheduled slice of the fleet: a single
@@ -248,6 +263,12 @@ func New(cfg Config) (*Runner, error) {
 		})
 		reg.GaugeFunc("loadgen_errors_total", func() float64 {
 			return float64(c.dialErrors.Load() + c.writeErrors.Load())
+		})
+		reg.GaugeFunc("loadgen_trunk_writes_total", func() float64 {
+			return float64(c.trunkWrites.Load())
+		})
+		reg.GaugeFunc("loadgen_trunk_frames_total", func() float64 {
+			return float64(c.trunkFrames.Load())
 		})
 	}
 	return r, nil
@@ -583,6 +604,24 @@ func (r *Runner) buildTrunks() {
 				Pad: t.pad, Path: rec.PathTrunked, Relay: ti,
 			})
 		}
+		// Pacing: clamp the slot count so each sub-tick covers at least one
+		// user and lasts at least a millisecond, then partition users by
+		// the deterministic hash.
+		slots := r.cfg.TrunkPaceSlots
+		if slots > count {
+			slots = count
+		}
+		if maxByPeriod := int(t.period / time.Millisecond); slots > maxByPeriod {
+			slots = maxByPeriod
+		}
+		if slots > 1 {
+			t.paceSlots = slots
+			t.slotUsers = make([][]int, slots)
+			for i := range t.users {
+				s := paceSlot(t.id, t.users[i].id, slots)
+				t.slotUsers[s] = append(t.slotUsers[s], i)
+			}
+		}
 		r.units = append(r.units, t)
 	}
 	// A trunk flushes one batch per tick, so its Algorithm 1 analog is a
@@ -783,8 +822,11 @@ func (u *vue) ensureConn() net.Conn {
 // whichever path acknowledges first settles the pending entry.
 func (u *vue) reader(conn net.Conn) {
 	defer u.readers.Done()
+	// Inline processing, nothing retained past the iteration: safe with
+	// the FrameReader's reused messages.
+	fr := hbproto.NewFrameReader(conn)
 	for {
-		msg, err := hbproto.ReadFrame(conn)
+		msg, err := fr.Next()
 		if err != nil {
 			u.mu.Lock()
 			if u.conn == conn {

@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"encoding/json"
+	"fmt"
 	"net"
 	"strings"
 	"testing"
@@ -29,6 +30,7 @@ func TestConfigValidation(t *testing.T) {
 		{UEs: 10, Duration: time.Second, Relays: -1},
 		{UEs: 10, Duration: time.Second, Speedup: -2},
 		{UEs: 10, Duration: time.Second, Profiles: []hbmsg.AppProfile{{Name: "broken"}}},
+		{UEs: 10, Duration: time.Second, TrunkPaceSlots: -1},
 	}
 	for i, cfg := range bad {
 		if _, err := New(cfg); err == nil {
@@ -240,5 +242,91 @@ func TestExternalServerUnreachableFailsFast(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("abort took %v; the probe should fail well before the run duration", elapsed)
+	}
+}
+
+// TestPaceSlotDeterministicPartition pins the seeded-jitter slot
+// assignment: stable across calls, spread over every slot at realistic
+// fleet sizes, and sensitive to the trunk ID (two trunks do not share a
+// phase pattern).
+func TestPaceSlotDeterministicPartition(t *testing.T) {
+	const slots = 8
+	counts := make([]int, slots)
+	for i := 0; i < 4096; i++ {
+		id := fmt.Sprintf("loadue-%07d", i)
+		s := paceSlot("loadtrunk-0000", id, slots)
+		if s < 0 || s >= slots {
+			t.Fatalf("slot %d out of range", s)
+		}
+		if again := paceSlot("loadtrunk-0000", id, slots); again != s {
+			t.Fatalf("paceSlot not deterministic: %d then %d", s, again)
+		}
+		counts[s]++
+	}
+	differs := false
+	for s := 0; s < slots; s++ {
+		if counts[s] == 0 {
+			t.Fatalf("slot %d empty across 4096 users: %v", s, counts)
+		}
+		id := fmt.Sprintf("loadue-%07d", s)
+		if paceSlot("loadtrunk-0000", id, slots) != paceSlot("loadtrunk-0001", id, slots) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("slot assignment ignores the trunk ID")
+	}
+}
+
+// TestTrunkPacedRunLossless runs a paced trunked fleet against the
+// in-process server: pacing must not lose or duplicate heartbeats (the
+// open-loop schedule is preserved, only intra-period phase changes), and
+// the coalesced uplink must report fewer writes than frames would imply.
+func TestTrunkPacedRunLossless(t *testing.T) {
+	r, err := New(Config{
+		UEs:            120,
+		Trunks:         2,
+		TrunkPaceSlots: 4,
+		Profiles:       []hbmsg.AppProfile{fastProfile(100 * time.Millisecond)},
+		Duration:       time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range r.units { // pacing must actually be armed
+		tr := u.(*trunk)
+		if tr.paceSlots != 4 || len(tr.slotUsers) != 4 {
+			t.Fatalf("trunk %s pacing not armed: slots=%d partitions=%d",
+				tr.id, tr.paceSlots, len(tr.slotUsers))
+		}
+		users := 0
+		for _, idxs := range tr.slotUsers {
+			users += len(idxs)
+		}
+		if users != len(tr.users) {
+			t.Fatalf("trunk %s partition covers %d of %d users", tr.id, users, len(tr.users))
+		}
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent == 0 {
+		t.Fatal("no heartbeats sent")
+	}
+	if rep.Acked != rep.Sent || rep.Timeouts != 0 || rep.Errors != 0 {
+		t.Fatalf("paced run lost heartbeats: acked %d / sent %d (timeouts %d, errors %d)",
+			rep.Acked, rep.Sent, rep.Timeouts, rep.Errors)
+	}
+	if rep.TrunkWrites == 0 || rep.TrunkFrames == 0 {
+		t.Fatalf("coalesced uplink accounting missing: writes=%d frames=%d",
+			rep.TrunkWrites, rep.TrunkFrames)
+	}
+	if rep.TrunkWrites > rep.TrunkFrames {
+		t.Fatalf("more writes than frames: writes=%d frames=%d",
+			rep.TrunkWrites, rep.TrunkFrames)
+	}
+	if rep.Server == nil || rep.Server.HeartbeatsRelayed == 0 {
+		t.Fatalf("server saw no relayed heartbeats: %+v", rep.Server)
 	}
 }

@@ -429,8 +429,12 @@ func (r *liveReplay) noteUplink(batch bool) {
 // reader consumes acks/feedback and settles pending heartbeats.
 func (r *liveReplay) reader(conn net.Conn) {
 	defer r.readers.Done()
+	// Inline processing: refs are consumed under r.mu before the next
+	// Next() call, and the interned Src strings promoted into replayKeys
+	// are stable, so the FrameReader's reuse is safe.
+	fr := hbproto.NewFrameReader(conn)
 	for {
-		msg, err := hbproto.ReadFrame(conn)
+		msg, err := fr.Next()
 		if err != nil {
 			return
 		}

@@ -79,6 +79,11 @@ type Report struct {
 	// Trunks is the trunked-fleet size (Config.Trunks); zero in socket-per-UE
 	// runs.
 	Trunks int `json:"trunks,omitempty"`
+	// TrunkWrites/TrunkFrames account the coalesced trunk uplink: Batch
+	// frames composed vs conn.Write calls issued (frames − writes is the
+	// syscall count the single-buffer flush saved). Zero without trunks.
+	TrunkWrites uint64 `json:"trunkWrites,omitempty"`
+	TrunkFrames uint64 `json:"trunkFrames,omitempty"`
 
 	// OfferedHBps is the sent rate, ThroughputHBps the acknowledged rate.
 	OfferedHBps    float64 `json:"offeredHBps"`
@@ -135,6 +140,8 @@ func (r *Runner) snapshot(elapsed time.Duration, final bool) Report {
 		OutOfOrderAcks:  c.outOfOrderAcks.Load(),
 		FallbackResends: c.fallbackResends.Load(),
 		Trunks:          r.cfg.Trunks,
+		TrunkWrites:     c.trunkWrites.Load(),
+		TrunkFrames:     c.trunkFrames.Load(),
 
 		Overall: latencyStats(overall),
 		Direct:  latencyStats(direct),

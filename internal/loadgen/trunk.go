@@ -68,6 +68,19 @@ type trunk struct {
 	shards  *shardCounter
 	readers *sync.WaitGroup
 
+	// paceSlots spreads each period's emissions over this many sub-ticks
+	// (≤1 disables pacing: the whole fleet bursts at once). slotUsers is
+	// the deterministic user→slot partition, immutable after build.
+	paceSlots int
+	slotUsers [][]int
+
+	// Encode scratch owned by the send path. run() is the only sender
+	// while load is offered and drain() sweeps only after the send loop
+	// has exited (sendWg.Wait precedes it), so no lock is needed.
+	sendBuf   []byte
+	hbScratch []hbproto.Heartbeat
+	batchMsg  hbproto.Batch
+
 	mu       sync.Mutex
 	users    []tuser
 	index    map[string]int  // user id → index (ids are immutable after build)
@@ -78,7 +91,12 @@ type trunk struct {
 }
 
 // run is the send loop: activate after the arrival offset, then batch one
-// heartbeat per user every period until the run stops.
+// heartbeat per user every period until the run stops. With pacing enabled
+// the period is divided into paceSlots sub-ticks and each user's emission
+// lands in its deterministically assigned slot — every user still sends
+// exactly once per period (the open-loop schedule is preserved), only the
+// intra-period phase changes, which flattens the per-period burst the
+// server would otherwise absorb all at once.
 func (t *trunk) run(done <-chan struct{}, offset time.Duration, sendWg *sync.WaitGroup) {
 	defer sendWg.Done()
 	if offset > 0 {
@@ -88,15 +106,31 @@ func (t *trunk) run(done <-chan struct{}, offset time.Duration, sendWg *sync.Wai
 		case <-time.After(offset):
 		}
 	}
-	tick := time.NewTicker(t.period)
+	slots := t.paceSlots
+	if slots <= 1 || len(t.slotUsers) != slots {
+		tick := time.NewTicker(t.period)
+		defer tick.Stop()
+		t.tick()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				t.tick()
+			}
+		}
+	}
+	tick := time.NewTicker(t.period / time.Duration(slots))
 	defer tick.Stop()
-	t.tick()
+	slot := 0
+	t.tickSlot(slot)
 	for {
 		select {
 		case <-done:
 			return
 		case <-tick.C:
-			t.tick()
+			slot = (slot + 1) % slots
+			t.tickSlot(slot)
 		}
 	}
 }
@@ -106,24 +140,71 @@ func (t *trunk) run(done <-chan struct{}, offset time.Duration, sendWg *sync.Wai
 func (t *trunk) tick() {
 	now := time.Now()
 	resend := t.collectExpired(now)
+	t.emit(nil, now, resend)
+}
+
+// tickSlot is one paced sub-tick: emit the users assigned to this slot.
+// Expiry collection runs once per full period (on slot 0), matching the
+// unpaced cadence so fallback/timeout timing is unchanged by pacing.
+func (t *trunk) tickSlot(slot int) {
+	now := time.Now()
+	var resend []hbref
+	if slot == 0 {
+		resend = t.collectExpired(now)
+	}
+	t.emit(t.slotUsers[slot], now, resend)
+}
+
+// emit sends one fresh heartbeat for each listed user index (nil means the
+// whole fleet) plus any expired re-sends.
+func (t *trunk) emit(idxs []int, now time.Time, resend []hbref) {
 	nano := now.UnixNano()
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return
 	}
-	fresh := make([]hbref, len(t.users))
-	for i := range t.users {
+	n := len(idxs)
+	if idxs == nil {
+		n = len(t.users)
+	}
+	fresh := make([]hbref, n)
+	for j := 0; j < n; j++ {
+		i := j
+		if idxs != nil {
+			i = idxs[j]
+		}
 		t.users[i].seq++
 		ref := hbref{i, t.users[i].seq}
 		t.pending[ref] = nano
-		fresh[i] = ref
+		fresh[j] = ref
 	}
 	t.mu.Unlock()
-	t.send(fresh, now, false)
+	if len(fresh) > 0 {
+		t.send(fresh, now, false)
+	}
 	if len(resend) > 0 {
 		t.send(resend, now, true)
 	}
+}
+
+// paceSlot deterministically assigns a user to one of slots emission slots:
+// FNV-1a over the trunk and user IDs. Seeded jitter with no RNG and no wall
+// clock, so repeated runs (and record/replay) see an identical schedule.
+func paceSlot(trunkID, userID string, slots int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(trunkID); i++ {
+		h = (h ^ uint64(trunkID[i])) * prime64
+	}
+	h = (h ^ 0xff) * prime64 // separator: ("a","bc") must differ from ("ab","c")
+	for i := 0; i < len(userID); i++ {
+		h = (h ^ uint64(userID[i])) * prime64
+	}
+	return int(h % uint64(slots))
 }
 
 // send partitions heartbeats per owning shard under one ring view (so a
@@ -147,10 +228,12 @@ func (t *trunk) send(refs []hbref, now time.Time, fallback bool) {
 	}
 }
 
-// sendShard writes one shard's heartbeats as Batch frames. Failures leave
-// the pending entries in place when fallback is available (the sweep
-// re-sends them through a newer view) and write them off as transport
-// errors otherwise.
+// sendShard writes one shard's heartbeats as Batch frames, composing every
+// chunk frame into one reusable buffer and issuing a single write — the
+// syscall count per emission is one per shard, not one per 4096 heartbeats.
+// Failures leave the pending entries in place when fallback is available
+// (the sweep re-sends them through a newer view) and write them off as
+// transport errors otherwise.
 func (t *trunk) sendShard(shard string, refs []hbref, now time.Time, fallback bool) {
 	conn := t.ensureConn(shard)
 	if conn == nil {
@@ -158,36 +241,53 @@ func (t *trunk) sendShard(shard string, refs []hbref, now time.Time, fallback bo
 		t.abandon(refs)
 		return
 	}
+	out := t.sendBuf[:0]
+	frames := uint64(0)
 	for start := 0; start < len(refs); start += maxTrunkBatch {
-		end := start + maxTrunkBatch
-		if end > len(refs) {
-			end = len(refs)
-		}
+		end := min(start+maxTrunkBatch, len(refs))
 		chunk := refs[start:end]
-		b := &hbproto.Batch{Relay: t.id, HBs: make([]hbproto.Heartbeat, len(chunk))}
+		if cap(t.hbScratch) < len(chunk) {
+			t.hbScratch = make([]hbproto.Heartbeat, len(chunk))
+		}
+		hbs := t.hbScratch[:len(chunk)]
 		for i, ref := range chunk {
-			b.HBs[i] = hbproto.Heartbeat{
+			hbs[i] = hbproto.Heartbeat{
 				Src: t.users[ref.idx].id, Seq: ref.seq, App: t.app,
 				Origin: now, Expiry: t.expiry, Pad: t.pad,
 			}
 		}
-		if err := hbproto.WriteFrame(conn, b); err != nil {
+		t.batchMsg.Relay, t.batchMsg.HBs = t.id, hbs
+		var err error
+		out, err = hbproto.AppendFrame(out, &t.batchMsg)
+		t.batchMsg.HBs = nil
+		if err != nil {
+			// Encode failure is a bug, not a transport fault: write the
+			// refs off without dropping the (healthy) connection.
 			t.c.writeErrors.Add(1)
-			t.dropConn(shard, conn)
-			t.abandon(refs[start:])
+			t.abandon(refs)
 			return
 		}
-		if fallback {
-			t.c.fallbackResends.Add(uint64(len(chunk)))
-		} else {
-			t.c.sentRelayed.Add(uint64(len(chunk)))
-			for _, ref := range chunk {
-				t.trec.Record(rec.EvSend, t.recIdx(ref.idx), ref.seq, now)
-			}
+		frames++
+	}
+	t.sendBuf = out[:0]
+	if _, err := conn.Write(out); err != nil {
+		t.c.writeErrors.Add(1)
+		t.dropConn(shard, conn)
+		t.abandon(refs)
+		return
+	}
+	t.c.trunkWrites.Add(1)
+	t.c.trunkFrames.Add(frames)
+	if fallback {
+		t.c.fallbackResends.Add(uint64(len(refs)))
+	} else {
+		t.c.sentRelayed.Add(uint64(len(refs)))
+		for _, ref := range refs {
+			t.trec.Record(rec.EvSend, t.recIdx(ref.idx), ref.seq, now)
 		}
-		if shard != "" {
-			t.shards.add(shard, uint64(len(chunk)))
-		}
+	}
+	if shard != "" {
+		t.shards.add(shard, uint64(len(refs)))
 	}
 }
 
@@ -323,8 +423,12 @@ func (t *trunk) dropConn(shard string, conn net.Conn) {
 // latency; stale refs for superseded or already-settled sends are ignored.
 func (t *trunk) reader(shard string, conn net.Conn) {
 	defer t.readers.Done()
+	// Streaming zero-alloc decode: the reader processes each message inline
+	// and retains nothing past the iteration (ref fields are consumed under
+	// t.mu), so the FrameReader's buffer reuse is safe here.
+	fr := hbproto.NewFrameReader(conn)
 	for {
-		msg, err := hbproto.ReadFrame(conn)
+		msg, err := fr.Next()
 		if err != nil {
 			t.dropConn(shard, conn)
 			return

@@ -125,6 +125,11 @@ type RelayAgentStats struct {
 	// shard was unreachable (or in dial backoff) at flush time. The UEs
 	// recover through the feedback-timeout fallback.
 	DroppedNoShard int
+	// FeedbackWritesSaved counts UE feedback writes avoided by merging
+	// refs from several server acks into one Feedback frame per UE per
+	// event drain (each merge into an already-pending group is one write
+	// the per-ack path would have issued).
+	FeedbackWritesSaved int
 }
 
 // ueConn is one connected UE on the relay's "D2D" listener.
@@ -191,6 +196,17 @@ type RelayAgent struct {
 	// collect instant, so flush can histogram collect-to-flush latency.
 	// Owned by the run goroutine, like the policy itself.
 	collectedAt []time.Duration
+	// pendingFB accumulates acked refs per UE connection across the acks
+	// of one event drain; flushFeedback writes one Feedback frame per UE.
+	// ackTouched is handleAck's per-call scratch for counting merges.
+	// sendBuf/fbBuf/batchMsg/fbMsg are reusable encode state. All owned
+	// by the run goroutine.
+	pendingFB  map[*ueConn][]hbproto.Ref
+	ackTouched map[*ueConn]bool
+	sendBuf    []byte
+	fbBuf      []byte
+	batchMsg   hbproto.Batch
+	fbMsg      hbproto.Feedback
 
 	ins relayInstruments
 }
@@ -205,6 +221,13 @@ type relayInstruments struct {
 	shardDrops     *telemetry.Counter
 	batchSize      *telemetry.Histogram
 	collectToFlush *telemetry.Histogram
+	// Wire-path coalescing: feedback frames written, per-ack feedback
+	// writes saved by merging, refs per feedback frame, and bytes written
+	// upstream per flush.
+	fbFlushes  *telemetry.Counter
+	fbSaved    *telemetry.Counter
+	fbRefs     *telemetry.Histogram
+	upBytesOut *telemetry.Counter
 }
 
 // NewRelayAgent returns an unstarted relay agent.
@@ -238,6 +261,8 @@ func NewRelayAgent(cfg RelayAgentConfig) (*RelayAgent, error) {
 		downUntil:  make(map[string]time.Duration),
 		backoffCur: make(map[string]time.Duration),
 		everDialed: make(map[string]bool),
+		pendingFB:  make(map[*ueConn][]hbproto.Ref),
+		ackTouched: make(map[*ueConn]bool),
 		rng:        rand.New(rand.NewSource(seed)),
 	}
 	if reg := cfg.Telemetry; reg != nil {
@@ -250,6 +275,10 @@ func NewRelayAgent(cfg RelayAgentConfig) (*RelayAgent, error) {
 			shardDrops:     reg.Counter("relaynet_relay_shard_drops_total", rl),
 			batchSize:      reg.Histogram("relaynet_relay_batch_size", "msgs", 1, rl),
 			collectToFlush: reg.Histogram("relaynet_relay_collect_to_flush_us", "us", 1, rl),
+			fbFlushes:      reg.Counter("relaynet_relay_feedback_flushes_total", rl),
+			fbSaved:        reg.Counter("relaynet_relay_feedback_writes_saved_total", rl),
+			fbRefs:         reg.Histogram("relaynet_relay_feedback_refs_per_flush", "refs", 1, rl),
+			upBytesOut:     reg.Counter("relaynet_relay_upstream_bytes_total", rl),
 		}
 		// The Algorithm 1 scheduler records its own occupancy-vs-capacity
 		// and deadline-slack figures from the instants the agent injects —
@@ -454,11 +483,17 @@ func (r *RelayAgent) acceptLoop() {
 }
 
 // ueReader decodes frames from one UE and forwards them to the main loop.
+// It decodes through a FrameReader (reused scratch, interned strings) and
+// copies each message into an owned value before handing it over: the run
+// loop processes the event after this goroutine has already moved on to
+// the next frame, so the reader's reused values must not cross the
+// channel. Interned strings are stable and copy for free.
 func (r *RelayAgent) ueReader(uc *ueConn) {
 	defer r.wg.Done()
 	defer func() { _ = uc.conn.Close() }()
+	fr := hbproto.NewFrameReader(uc.conn)
 	for {
-		msg, err := hbproto.ReadFrame(uc.conn)
+		msg, err := fr.Next()
 		if err != nil {
 			select {
 			case r.events <- relayEvent{ueClosed: uc}:
@@ -467,10 +502,37 @@ func (r *RelayAgent) ueReader(uc *ueConn) {
 			return
 		}
 		select {
-		case r.events <- relayEvent{ueMsg: msg, ueFrom: uc}:
+		case r.events <- relayEvent{ueMsg: copyMessage(msg), ueFrom: uc}:
 		case <-r.done:
 			return
 		}
+	}
+}
+
+// copyMessage deep-copies a FrameReader-owned message so it can outlive
+// the reader's next frame.
+func copyMessage(msg hbproto.Message) hbproto.Message {
+	switch m := msg.(type) {
+	case *hbproto.Register:
+		c := *m
+		return &c
+	case *hbproto.Heartbeat:
+		c := *m
+		return &c
+	case *hbproto.Batch:
+		c := *m
+		c.HBs = append([]hbproto.Heartbeat(nil), m.HBs...)
+		return &c
+	case *hbproto.Ack:
+		c := *m
+		c.Refs = append([]hbproto.Ref(nil), m.Refs...)
+		return &c
+	case *hbproto.Feedback:
+		c := *m
+		c.Refs = append([]hbproto.Ref(nil), m.Refs...)
+		return &c
+	default:
+		return msg
 	}
 }
 
@@ -480,8 +542,9 @@ func (r *RelayAgent) ueReader(uc *ueConn) {
 func (r *RelayAgent) upstreamReader(conn net.Conn, shard string) {
 	defer r.wg.Done()
 	defer r.untrackUp(conn)
+	fr := hbproto.NewFrameReader(conn)
 	for {
-		msg, err := hbproto.ReadFrame(conn)
+		msg, err := fr.Next()
 		if err != nil {
 			if !r.isClosed() {
 				select {
@@ -492,8 +555,10 @@ func (r *RelayAgent) upstreamReader(conn net.Conn, shard string) {
 			return
 		}
 		if ack, ok := msg.(*hbproto.Ack); ok {
+			// Copy out of the reader's reused value (see ueReader).
+			owned := &hbproto.Ack{Refs: append([]hbproto.Ref(nil), ack.Refs...)}
 			select {
-			case r.events <- relayEvent{ack: ack}:
+			case r.events <- relayEvent{ack: owned}:
 			case <-r.done:
 				return
 			}
@@ -672,6 +737,10 @@ func (r *RelayAgent) run() {
 	r.armFlushTimer(flushTimer)
 	defer flushTimer.Stop()
 
+	// maxEventDrain bounds how many queued events one loop iteration may
+	// absorb before feedback is flushed and the timers get a look-in.
+	const maxEventDrain = 64
+
 	for {
 		select {
 		case <-r.done:
@@ -685,32 +754,55 @@ func (r *RelayAgent) run() {
 			r.flush()
 			r.armFlushTimer(flushTimer)
 		case ev := <-r.events:
-			switch {
-			case ev.ueMsg != nil:
-				r.handleUE(ev.ueFrom, ev.ueMsg)
-				r.armFlushTimer(flushTimer)
-			case ev.ueClosed != nil:
-				delete(r.ueConns, ev.ueClosed)
-			case ev.ack != nil:
-				r.handleAck(ev.ack)
-			case ev.upErr != nil:
-				if r.cfg.Cluster != nil {
-					// A shard broke: retire its connection and back off.
-					// The next flush redials; meanwhile the other shards
-					// keep their schedule — a cluster relay never blocks
-					// its run loop on one dead shard.
-					r.dropShardConn(ev.upShard, ev.upConn)
-					continue
-				}
-				// Single upstream broke: try to reconnect; if the server
-				// stays unreachable, stop scheduling and let UEs fall
-				// back.
-				if !r.reconnectUpstream() {
+			// Drain whatever else is already queued (bounded) before
+			// flushing feedback, so refs from several acks — one per
+			// shard in cluster mode — merge into one Feedback frame per
+			// UE instead of one write per ack.
+			for n := 0; ; n++ {
+				if !r.handleEvent(ev, flushTimer) {
 					return
 				}
+				if n >= maxEventDrain {
+					break
+				}
+				select {
+				case ev = <-r.events:
+					continue
+				default:
+				}
+				break
 			}
+			r.flushFeedback()
 		}
 	}
+}
+
+// handleEvent dispatches one main-loop event; false means the agent must
+// stop (single upstream unrecoverable).
+func (r *RelayAgent) handleEvent(ev relayEvent, flushTimer *time.Timer) bool {
+	switch {
+	case ev.ueMsg != nil:
+		r.handleUE(ev.ueFrom, ev.ueMsg)
+		r.armFlushTimer(flushTimer)
+	case ev.ueClosed != nil:
+		delete(r.ueConns, ev.ueClosed)
+		delete(r.pendingFB, ev.ueClosed)
+	case ev.ack != nil:
+		r.handleAck(ev.ack)
+	case ev.upErr != nil:
+		if r.cfg.Cluster != nil {
+			// A shard broke: retire its connection and back off. The
+			// next flush redials; meanwhile the other shards keep their
+			// schedule — a cluster relay never blocks its run loop on
+			// one dead shard.
+			r.dropShardConn(ev.upShard, ev.upConn)
+			return true
+		}
+		// Single upstream broke: try to reconnect; if the server stays
+		// unreachable, stop scheduling and let UEs fall back.
+		return r.reconnectUpstream()
+	}
+	return true
 }
 
 // armFlushTimer points the flush timer at the policy's current deadline.
@@ -868,12 +960,20 @@ func (r *RelayAgent) flush() {
 	}
 }
 
-// sendBatch writes one wire batch to an upstream connection, updating the
+// sendBatch writes one wire batch to an upstream connection as a single
+// Write from the run loop's reusable encode buffer, updating the
 // forwarding counters on success.
 func (r *RelayAgent) sendBatch(conn net.Conn, shard string, hbs []hbproto.Heartbeat) bool {
-	if err := hbproto.WriteFrame(conn, &hbproto.Batch{Relay: r.cfg.ID, HBs: hbs}); err != nil {
+	r.batchMsg.Relay, r.batchMsg.HBs = r.cfg.ID, hbs
+	out, err := hbproto.AppendFrame(r.sendBuf[:0], &r.batchMsg)
+	r.sendBuf, r.batchMsg.HBs = out[:0], nil
+	if err != nil {
 		return false
 	}
+	if _, err := conn.Write(out); err != nil {
+		return false
+	}
+	r.ins.upBytesOut.Add(uint64(len(out)))
 	r.ins.batchSize.Record(uint64(len(hbs)))
 	// The relay's own heartbeat is not a forwarded UE message.
 	ueCount := 0
@@ -893,11 +993,14 @@ func (r *RelayAgent) sendBatch(conn net.Conn, shard string, hbs []hbproto.Heartb
 	return true
 }
 
-// handleAck relays the server's acknowledgement to each UE as feedback.
+// handleAck resolves the server's acknowledgement into per-UE feedback
+// refs, accumulated in pendingFB until the run loop's event drain ends.
 // Acks from every shard funnel through the same path: the refs identify
-// their UEs regardless of which upstream carried the batch.
+// their UEs regardless of which upstream carried the batch, and refs from
+// several acks merge into one Feedback frame per UE (the saved writes are
+// counted).
 func (r *RelayAgent) handleAck(ack *hbproto.Ack) {
-	perUE := make(map[*ueConn][]hbproto.Ref)
+	saved := 0
 	for _, ref := range ack.Refs {
 		uc, ok := r.sources[ref]
 		if !ok {
@@ -907,15 +1010,60 @@ func (r *RelayAgent) handleAck(ack *hbproto.Ack) {
 		if _, alive := r.ueConns[uc]; !alive {
 			continue
 		}
-		perUE[uc] = append(perUE[uc], ref)
+		if !r.ackTouched[uc] {
+			r.ackTouched[uc] = true
+			if len(r.pendingFB[uc]) > 0 {
+				// Refs from an earlier ack in this drain are still
+				// pending for the UE: the per-ack path would have
+				// written them as a separate Feedback frame.
+				saved++
+			}
+		}
+		r.pendingFB[uc] = append(r.pendingFB[uc], ref)
 	}
-	for uc, refs := range perUE {
-		if err := hbproto.WriteFrame(uc.conn, &hbproto.Feedback{Refs: refs}); err != nil {
+	for uc := range r.ackTouched {
+		delete(r.ackTouched, uc)
+	}
+	if saved > 0 {
+		r.ins.fbSaved.Add(uint64(saved))
+		r.mu.Lock()
+		r.stats.FeedbackWritesSaved += saved
+		r.mu.Unlock()
+	}
+}
+
+// flushFeedback writes the accumulated feedback: one frame — one Write —
+// per UE connection, composed in the run loop's reusable buffer. Write
+// order across UEs is not observable (each write targets a different
+// connection), so plain map iteration is fine here, as it was on the old
+// per-ack path.
+func (r *RelayAgent) flushFeedback() {
+	if len(r.pendingFB) == 0 {
+		return
+	}
+	sent := 0
+	for uc, refs := range r.pendingFB {
+		delete(r.pendingFB, uc)
+		if len(refs) == 0 {
+			continue
+		}
+		r.fbMsg.Refs = refs
+		out, err := hbproto.AppendFrame(r.fbBuf[:0], &r.fbMsg)
+		r.fbBuf, r.fbMsg.Refs = out[:0], nil
+		if err != nil {
+			continue
+		}
+		if _, err := uc.conn.Write(out); err != nil {
 			continue
 		}
 		r.ins.feedbacks.Add(uint64(len(refs)))
+		r.ins.fbFlushes.Inc()
+		r.ins.fbRefs.Record(uint64(len(refs)))
+		sent += len(refs)
+	}
+	if sent > 0 {
 		r.mu.Lock()
-		r.stats.FeedbacksSent += len(refs)
+		r.stats.FeedbacksSent += sent
 		r.mu.Unlock()
 	}
 }

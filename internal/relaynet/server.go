@@ -170,6 +170,11 @@ type serverInstruments struct {
 	late          *telemetry.Counter
 	misrouted     *telemetry.Counter
 	batchSize     *telemetry.Histogram
+	// Wire-path coalescing: ack flushes (one Write each), refs per flush
+	// (the syscall batch size), and bytes written on the ack path.
+	ackFlushes  *telemetry.Counter
+	ackRefs     *telemetry.Histogram
+	ackBytesOut *telemetry.Counter
 }
 
 // SetTelemetry registers the server's runtime metrics in reg; call before
@@ -189,6 +194,9 @@ func (s *Server) SetTelemetry(reg *telemetry.Registry) {
 		late:          reg.Counter("relaynet_server_late_heartbeats_total"),
 		misrouted:     reg.Counter("relaynet_server_misrouted_frames_total"),
 		batchSize:     reg.Histogram("relaynet_server_batch_size", "msgs", 8),
+		ackFlushes:    reg.Counter("relaynet_server_ack_flushes_total"),
+		ackRefs:       reg.Histogram("relaynet_server_ack_refs_per_flush", "refs", 8),
+		ackBytesOut:   reg.Counter("relaynet_server_ack_bytes_total"),
 	}
 	reg.GaugeFunc("relaynet_server_open_connections", func() float64 {
 		s.mu.Lock()
@@ -369,6 +377,72 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// Ack-aggregator bounds. While a client keeps pipelining frames the
+// server defers acks, composing one combined Ack frame (one Write) per
+// drained burst; a size cap bounds frame growth and an age cap bounds the
+// extra latency a continuously-pipelining peer can see.
+const (
+	ackAggMaxRefs = 4096
+	ackAggMaxAge  = 2 * time.Millisecond
+)
+
+// ackAggregator coalesces the acks owed on one connection into combined
+// frames. refs hold interned strings from the connection's FrameReader,
+// so deferring them does not pin payload scratch.
+type ackAggregator struct {
+	refs    []hbproto.Ref
+	buf     []byte // reusable encode buffer
+	ack     hbproto.Ack
+	firstAt time.Time // when the oldest deferred ref was enqueued
+}
+
+func (a *ackAggregator) add(src string, seq uint64, now time.Time) {
+	if len(a.refs) == 0 {
+		a.firstAt = now
+	}
+	a.refs = append(a.refs, hbproto.Ref{Src: src, Seq: seq})
+}
+
+// shouldFlush reports whether the pending acks must go out now: the peer
+// has nothing more pipelined, the size cap is hit, or the oldest deferred
+// ack is about to exceed the latency bound.
+func (a *ackAggregator) shouldFlush(buffered int, now time.Time) bool {
+	if len(a.refs) == 0 {
+		return false
+	}
+	return buffered == 0 || len(a.refs) >= ackAggMaxRefs || now.Sub(a.firstAt) >= ackAggMaxAge
+}
+
+// flushAcks writes all pending acks as one frame under the write
+// deadline, counting deadline hits (clients that stopped reading).
+func (s *Server) flushAcks(conn net.Conn, wto time.Duration, agg *ackAggregator) error {
+	if len(agg.refs) == 0 {
+		return nil
+	}
+	agg.ack.Refs = agg.refs
+	out, err := hbproto.AppendFrame(agg.buf[:0], &agg.ack)
+	agg.buf = out[:0]
+	if err != nil {
+		return err
+	}
+	if wto > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(wto))
+	}
+	if _, err = conn.Write(out); err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			s.writeTimeouts.Add(1)
+			s.ins.writeTimeouts.Inc()
+		}
+		return err
+	}
+	s.ins.ackFlushes.Inc()
+	s.ins.ackRefs.Record(uint64(len(agg.refs)))
+	s.ins.ackBytesOut.Add(uint64(len(out)))
+	agg.refs = agg.refs[:0]
+	return nil
+}
+
 func (s *Server) handleConn(conn net.Conn, cc *connCounters) {
 	defer s.wg.Done()
 	defer func() {
@@ -380,21 +454,31 @@ func (s *Server) handleConn(conn net.Conn, cc *connCounters) {
 	s.mu.Lock()
 	idle, wto := s.idleTimeout, s.writeTimeout
 	s.mu.Unlock()
+	fr := hbproto.NewFrameReader(conn)
+	var agg ackAggregator
 	for {
 		if idle > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(idle))
 		}
-		msg, err := hbproto.ReadFrame(conn)
+		msg, err := fr.Next()
 		if err != nil {
+			// Best-effort: acks deferred behind a peer's final burst
+			// still go out before a clean disconnect.
+			_ = s.flushAcks(conn, wto, &agg)
 			s.noteReadError(conn, err)
 			return
 		}
 		s.ins.frames.Inc()
-		if err := s.handleMessage(conn, cc, wto, msg); err != nil {
+		if err := s.handleMessage(cc, msg, &agg); err != nil {
 			if errors.Is(err, errProtocol) {
 				s.noteDrop(conn, err.Error(), false)
 			}
 			return
+		}
+		if agg.shouldFlush(fr.Buffered(), time.Now()) {
+			if err := s.flushAcks(conn, wto, &agg); err != nil {
+				return
+			}
 		}
 	}
 }
@@ -434,29 +518,9 @@ func (s *Server) noteDrop(conn net.Conn, reason string, idle bool) {
 	})
 }
 
-// writeFrame writes one message under the optional write deadline.
-func writeFrame(conn net.Conn, wto time.Duration, msg hbproto.Message) error {
-	if wto > 0 {
-		_ = conn.SetWriteDeadline(time.Now().Add(wto))
-	}
-	return hbproto.WriteFrame(conn, msg)
-}
-
-// send writes one ack under the write deadline, counting deadline hits
-// (clients that stopped reading their socket).
-func (s *Server) send(conn net.Conn, wto time.Duration, msg hbproto.Message) error {
-	err := writeFrame(conn, wto, msg)
-	if err != nil {
-		var ne net.Error
-		if errors.As(err, &ne) && ne.Timeout() {
-			s.writeTimeouts.Add(1)
-			s.ins.writeTimeouts.Inc()
-		}
-	}
-	return err
-}
-
-func (s *Server) handleMessage(conn net.Conn, cc *connCounters, wto time.Duration, msg hbproto.Message) error {
+// handleMessage updates presence state and queues the acks the message
+// earned; handleConn decides when the queue is flushed to the socket.
+func (s *Server) handleMessage(cc *connCounters, msg hbproto.Message, agg *ackAggregator) error {
 	now := time.Now()
 	switch m := msg.(type) {
 	case *hbproto.Register:
@@ -472,18 +536,16 @@ func (s *Server) handleMessage(conn net.Conn, cc *connCounters, wto time.Duratio
 		return nil
 	case *hbproto.Heartbeat:
 		s.touch(cc, m, now, false)
-		return s.send(conn, wto, &hbproto.Ack{
-			Refs: []hbproto.Ref{{Src: m.Src, Seq: m.Seq}},
-		})
+		agg.add(m.Src, m.Seq, now)
+		return nil
 	case *hbproto.Batch:
-		refs := make([]hbproto.Ref, 0, len(m.HBs))
 		for i := range m.HBs {
 			s.touch(cc, &m.HBs[i], now, true)
-			refs = append(refs, hbproto.Ref{Src: m.HBs[i].Src, Seq: m.HBs[i].Seq})
+			agg.add(m.HBs[i].Src, m.HBs[i].Seq, now)
 		}
 		cc.batches.Add(1)
 		s.ins.batchSize.Record(uint64(len(m.HBs)))
-		return s.send(conn, wto, &hbproto.Ack{Refs: refs})
+		return nil
 	default:
 		return fmt.Errorf("%w: unexpected %v from client", errProtocol, msg.Type())
 	}

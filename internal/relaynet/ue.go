@@ -467,11 +467,14 @@ func (u *UEClient) onFeedbackTimeout(seq uint64, hb *hbproto.Heartbeat) {
 	u.sendDirect(hb, true)
 }
 
-// relayReader consumes feedback from the relay.
+// relayReader consumes feedback from the relay. Frames are processed
+// inline, so the FrameReader's reused message values never escape the
+// loop iteration.
 func (u *UEClient) relayReader(conn net.Conn) {
 	defer u.wg.Done()
+	fr := hbproto.NewFrameReader(conn)
 	for {
-		msg, err := hbproto.ReadFrame(conn)
+		msg, err := fr.Next()
 		if err != nil {
 			u.mu.Lock()
 			if u.relay == conn {
@@ -507,8 +510,9 @@ func (u *UEClient) relayReader(conn net.Conn) {
 // directReader drains server acks on the direct connection.
 func (u *UEClient) directReader(conn net.Conn) {
 	defer u.wg.Done()
+	fr := hbproto.NewFrameReader(conn)
 	for {
-		if _, err := hbproto.ReadFrame(conn); err != nil {
+		if _, err := fr.Next(); err != nil {
 			return
 		}
 	}
